@@ -1,0 +1,65 @@
+// Command kronplot renders a degree-distribution CSV (as written by
+// krondesign -dist csv) as an ASCII log-log plot — the terminal version of
+// the paper's Figures 4–7.
+//
+// Usage:
+//
+//	krondesign -mhat 3,4,5,9,16,25,81,256 -loop hub -dist csv > trillion.csv
+//	kronplot -in trillion.csv
+//	kronplot -in trillion.csv -width 100 -height 30 -noline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bigdeg"
+	"repro/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kronplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("kronplot", flag.ContinueOnError)
+	in := fs.String("in", "-", "input CSV path ('-' for stdin)")
+	width := fs.Int("width", 72, "plot width in characters")
+	height := fs.Int("height", 24, "plot height in characters")
+	noline := fs.Bool("noline", false, "omit the power-law reference line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	d, err := bigdeg.ParseCSV(r)
+	if err != nil {
+		return err
+	}
+	cfg := plot.DefaultConfig()
+	cfg.Width = *width
+	cfg.Height = *height
+	cfg.DrawPowerLaw = !*noline
+	rendered, err := plot.LogLog(d, cfg)
+	if err != nil {
+		return err
+	}
+	if alpha, err := d.Alpha(); err == nil {
+		fmt.Fprintf(stdout, "points: %d  total vertices: %s  alpha: %.4f\n",
+			d.Len(), d.SumCounts(), alpha)
+	}
+	_, err = io.WriteString(stdout, rendered)
+	return err
+}

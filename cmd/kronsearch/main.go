@@ -1,0 +1,82 @@
+// Command kronsearch finds Kronecker star designs whose exact edge counts
+// hit a target — the closed-form replacement for the trial-and-error
+// parameter hunt random generators force on their users.
+//
+// Usage:
+//
+//	kronsearch -edges 1000000000000 -tol 0.02 -loop hub
+//	kronsearch -edges 1e30 -loop leaf -candidates 3,4,5,7,9,11,16,25,49,81,121,256,625,2401,14641 -repeats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/search"
+	"repro/kron"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kronsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kronsearch", flag.ContinueOnError)
+	edges := fs.String("edges", "", "target edge count (decimal integer or mantissa-exponent like 1e30)")
+	loop := fs.String("loop", "none", "self-loop mode: none, hub, or leaf")
+	candidates := fs.String("candidates", "3,4,5,7,9,11,16,25,49,81,121,256,625",
+		"comma-separated candidate m̂ values")
+	tol := fs.Float64("tol", 0.05, "relative edge-count tolerance")
+	maxFactors := fs.Int("maxfactors", 12, "maximum number of constituents")
+	repeats := fs.Bool("repeats", false, "allow reusing a candidate m̂")
+	top := fs.Int("top", 5, "number of designs to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := cliutil.ParseBigCount(*edges)
+	if err != nil {
+		return err
+	}
+	mode, err := kron.ParseLoopMode(*loop)
+	if err != nil {
+		return err
+	}
+	cands, err := cliutil.ParsePoints(*candidates)
+	if err != nil {
+		return err
+	}
+	results, err := search.EdgeTarget(target, search.Options{
+		Candidates:   cands,
+		Loop:         mode,
+		MinFactors:   1,
+		MaxFactors:   *maxFactors,
+		AllowRepeats: *repeats,
+		Tol:          *tol,
+		MaxResults:   *top,
+	})
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no designs within %.2g%% of %s edges; widen -tol or -candidates", 100**tol, target)
+	}
+	fmt.Printf("target %s edges (±%.2g%%), loop=%s\n", target, 100**tol, mode)
+	for i, r := range results {
+		d, err := kron.FromPoints(r.Points, mode)
+		if err != nil {
+			return err
+		}
+		p, err := d.Compute()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("#%d m̂=%v\n   edges %s (err %.4g%%), vertices %s, triangles %s, alpha %.4f\n",
+			i+1, r.Points, r.Edges, 100*r.RelErr, p.Vertices, p.Triangles, p.Alpha)
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package repro is the root of a from-scratch Go reproduction of
+// Kepner et al., "Design, Generation, and Validation of Extreme Scale
+// Power-Law Graphs" (IPDPS 2018 workshops, arXiv:1803.01281).
+//
+// The public API lives in repro/kron; the substrates live under
+// repro/internal (sparse semiring linear algebra, star constituents,
+// arbitrary-precision degree distributions, the communication-free parallel
+// generator, an R-MAT baseline, and the validation harness). The benchmarks
+// in bench_test.go regenerate every figure of the paper; see DESIGN.md for
+// the per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package repro

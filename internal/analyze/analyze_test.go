@@ -1,0 +1,247 @@
+package analyze
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+	"repro/internal/star"
+	"repro/internal/triangle"
+)
+
+var sr = semiring.PlusTimesInt64()
+
+func path(n int) *sparse.COO[int64] {
+	var tr []sparse.Triple[int64]
+	for i := 0; i+1 < n; i++ {
+		tr = append(tr, sparse.Triple[int64]{Row: i, Col: i + 1, Val: 1},
+			sparse.Triple[int64]{Row: i + 1, Col: i, Val: 1})
+	}
+	return sparse.MustCOO(n, n, tr)
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(sparse.MustCOO[int64](2, 3, nil)); err == nil {
+		t.Error("non-square accepted")
+	}
+	asym := sparse.MustCOO(2, 2, []sparse.Triple[int64]{{Row: 0, Col: 1, Val: 1}})
+	if _, err := NewGraph(asym); err == nil {
+		t.Error("asymmetric accepted")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g, err := NewGraph(path(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	if _, err := g.BFS(9); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	// Two disjoint edges.
+	m := sparse.MustCOO(4, 4, []sparse.Triple[int64]{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	})
+	g, err := NewGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Errorf("unreachable vertices have distances %d, %d", dist[2], dist[3])
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	m := sparse.MustCOO(5, 5, []sparse.Triple[int64]{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+		// vertex 4 isolated
+	})
+	g, err := NewGraph(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, k := g.ConnectedComponents()
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] || labels[4] == labels[0] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	if g, _ := NewGraph(path(4)); !g.IsBipartite() {
+		t.Error("path not bipartite")
+	}
+	// Odd cycle C3.
+	c3 := sparse.FromDense([][]int64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	}, sr)
+	if g, _ := NewGraph(c3); g.IsBipartite() {
+		t.Error("C3 reported bipartite")
+	}
+	// Self-loop breaks bipartiteness.
+	loop := sparse.FromDense([][]int64{
+		{1, 1},
+		{1, 0},
+	}, sr)
+	if g, _ := NewGraph(loop); g.IsBipartite() {
+		t.Error("self-loop graph reported bipartite")
+	}
+}
+
+// Figure 1 / Weichsel's theorem: the Kronecker product of two connected
+// bipartite graphs (two stars) has exactly two connected components, each
+// bipartite.
+func TestFig1TwoBipartiteSubgraphs(t *testing.T) {
+	a := star.Spec{Points: 5, Loop: star.LoopNone}.Adjacency()
+	b := star.Spec{Points: 3, Loop: star.LoopNone}.Adjacency()
+	c, err := sparse.Kron(a, b, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, k := g.ConnectedComponents()
+	if k != 2 {
+		t.Fatalf("star ⊗ star has %d components, want 2 (Weichsel)", k)
+	}
+	if !g.IsBipartite() {
+		t.Error("product not bipartite")
+	}
+	// Both components non-trivial.
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for i, s := range sizes {
+		if s < 2 {
+			t.Errorf("component %d has %d vertices", i, s)
+		}
+	}
+}
+
+// Hub loops make the product connected (the loop vertex bridges the parts).
+func TestHubLoopProductConnected(t *testing.T) {
+	d, err := core.FromPoints([]int{5, 3}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, k := g.ConnectedComponents(); k != 1 {
+		t.Errorf("hub-loop product has %d components, want 1", k)
+	}
+	if g.IsBipartite() {
+		t.Error("hub-loop product reported bipartite (it has triangles)")
+	}
+}
+
+// Triangle enumeration agrees with the counters and the design prediction.
+func TestEnumerateTrianglesMatchesCount(t *testing.T) {
+	for _, tc := range []struct {
+		pts  []int
+		loop star.LoopMode
+	}{
+		{[]int{5, 3}, star.LoopHub},
+		{[]int{5, 3}, star.LoopLeaf},
+		{[]int{3, 4, 5}, star.LoopHub},
+	} {
+		d, err := core.FromPoints(tc.pts, tc.loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := d.Realize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGraph(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tris := g.EnumerateTriangles(0)
+		want, err := triangle.CountBoth(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(tris)) != want {
+			t.Errorf("%v: enumerated %d triangles, counted %d", d, len(tris), want)
+		}
+		// Each triple is strictly ordered and genuinely a triangle.
+		sr2 := semiring.PlusTimesInt64()
+		for _, tr := range tris {
+			if !(tr.U < tr.V && tr.V < tr.W) {
+				t.Fatalf("unordered triangle %+v", tr)
+			}
+			if a.At(tr.U, tr.V, sr2) == 0 || a.At(tr.V, tr.W, sr2) == 0 || a.At(tr.U, tr.W, sr2) == 0 {
+				t.Fatalf("non-triangle %+v enumerated", tr)
+			}
+		}
+	}
+}
+
+func TestEnumerateTrianglesLimit(t *testing.T) {
+	d, err := core.FromPoints([]int{5, 3}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.EnumerateTriangles(4); len(got) != 4 {
+		t.Errorf("limit 4 returned %d triangles", len(got))
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g, err := NewGraph(star.Spec{Points: 4, Loop: star.LoopNone}.Adjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degrees()
+	if deg[0] != 4 {
+		t.Errorf("hub degree %d, want 4", deg[0])
+	}
+	for v := 1; v < 5; v++ {
+		if deg[v] != 1 {
+			t.Errorf("leaf %d degree %d, want 1", v, deg[v])
+		}
+	}
+	if g.NumVertices() != 5 {
+		t.Error("vertex count wrong")
+	}
+}

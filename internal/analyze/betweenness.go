@@ -1,0 +1,68 @@
+package analyze
+
+// BetweennessCentrality computes exact betweenness for every vertex with
+// Brandes' algorithm (unweighted, undirected): BC(v) = Σ_{s<t, v∉{s,t}}
+// σ_st(v)/σ_st, where σ_st counts shortest s–t paths and σ_st(v) those
+// through v. Self-loops never lie on shortest paths and are ignored.
+// Complexity O(V·E) — fine for the realized validation-scale graphs this
+// package targets; it implements the "betweenness centrality" item of the
+// paper's future-work list.
+func (g *Graph) BetweennessCentrality() []float64 {
+	n := g.csr.NumRows
+	bc := make([]float64, n)
+	// Reused per-source workspace.
+	dist := make([]int, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	stack := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	preds := make([][]int32, n)
+
+	for s := 0; s < n; s++ {
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		stack = stack[:0]
+		queue = queue[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if w == v {
+					continue // self-loop
+				}
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], int32(v))
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(stack) - 1; i > 0; i-- {
+			w := stack[i]
+			coef := (1 + delta[w]) / sigma[w]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] * coef
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	// Each unordered pair was counted from both endpoints.
+	for i := range bc {
+		bc[i] /= 2
+	}
+	return bc
+}

@@ -1,0 +1,148 @@
+package analyze
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/star"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBetweennessPath(t *testing.T) {
+	// P4: 0-1-2-3. BC(1) = BC(2) = 2 (pairs (0,2),(0,3) through 1; (0,3),(1,3) through 2).
+	g, err := NewGraph(path(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := g.BetweennessCentrality()
+	if !approx(bc[0], 0) || !approx(bc[3], 0) {
+		t.Errorf("endpoints bc = %v", bc)
+	}
+	if !approx(bc[1], 2) || !approx(bc[2], 2) {
+		t.Errorf("interior bc = %v, want 2, 2", bc)
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with m̂ leaves: hub lies on every leaf pair: C(m̂,2).
+	for _, mh := range []int{3, 5, 9} {
+		g, err := NewGraph(star.Spec{Points: mh, Loop: star.LoopNone}.Adjacency())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc := g.BetweennessCentrality()
+		want := float64(mh*(mh-1)) / 2
+		if !approx(bc[0], want) {
+			t.Errorf("star(%d) hub bc = %v, want %v", mh, bc[0], want)
+		}
+		for v := 1; v <= mh; v++ {
+			if !approx(bc[v], 0) {
+				t.Errorf("star(%d) leaf bc = %v, want 0", mh, bc[v])
+			}
+		}
+	}
+}
+
+func TestBetweennessCycle(t *testing.T) {
+	// C5: every vertex has BC = 0.5 (each non-adjacent pair has 2 shortest
+	// paths? no — C5 pairs at distance 2 have a unique shortest path through
+	// one vertex). For C5: per vertex, pairs (i-1, i+1) pass through i: 1
+	// pair, unique path → BC = 1... let's compute: distance-2 pairs have
+	// exactly one midpoint. Each vertex is the midpoint of exactly one
+	// distance-2 pair → BC = 1. Distance-1 pairs contribute nothing.
+	n := 5
+	var tr []sparse.Triple[int64]
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		tr = append(tr, sparse.Triple[int64]{Row: i, Col: j, Val: 1},
+			sparse.Triple[int64]{Row: j, Col: i, Val: 1})
+	}
+	g, err := NewGraph(sparse.MustCOO(n, n, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, b := range g.BetweennessCentrality() {
+		if !approx(b, 1) {
+			t.Errorf("C5 vertex %d bc = %v, want 1", v, b)
+		}
+	}
+}
+
+func TestBetweennessSplitPaths(t *testing.T) {
+	// C4: pairs at distance 2 have two shortest paths; each midpoint gets
+	// half a pair → BC = 0.5 per vertex.
+	n := 4
+	var tr []sparse.Triple[int64]
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		tr = append(tr, sparse.Triple[int64]{Row: i, Col: j, Val: 1},
+			sparse.Triple[int64]{Row: j, Col: i, Val: 1})
+	}
+	g, err := NewGraph(sparse.MustCOO(n, n, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, b := range g.BetweennessCentrality() {
+		if !approx(b, 0.5) {
+			t.Errorf("C4 vertex %d bc = %v, want 0.5", v, b)
+		}
+	}
+}
+
+// Sanity on a realized Kronecker design: the hub-of-hubs (vertex 0 of a
+// hub-loop design) must dominate betweenness, and totals must be
+// non-negative and finite.
+func TestBetweennessKroneckerDesign(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := g.BetweennessCentrality()
+	maxV, maxB := -1, -1.0
+	for v, b := range bc {
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Fatalf("bc[%d] = %v", v, b)
+		}
+		if b > maxB {
+			maxV, maxB = v, b
+		}
+	}
+	if maxV != 0 {
+		t.Errorf("max betweenness at vertex %d (%v), want hub-of-hubs 0", maxV, maxB)
+	}
+}
+
+// Self-loops must not change betweenness.
+func TestBetweennessIgnoresSelfLoops(t *testing.T) {
+	base := path(4)
+	g1, err := NewGraph(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looped := base.Clone()
+	if err := looped.Set(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGraph(looped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := g1.BetweennessCentrality()
+	b2 := g2.BetweennessCentrality()
+	for v := range b1 {
+		if !approx(b1[v], b2[v]) {
+			t.Errorf("self-loop changed bc[%d]: %v vs %v", v, b1[v], b2[v])
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package analyze
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/star"
+)
+
+// The designer's component prediction (Weichsel's theorem) must match the
+// measured component count of the realized graph for every loop mode and
+// factor count.
+func TestPredictedComponentsMatchMeasured(t *testing.T) {
+	cases := []struct {
+		pts  []int
+		loop star.LoopMode
+	}{
+		{[]int{5}, star.LoopNone},          // 1 factor → 2^0 = 1 component
+		{[]int{5, 3}, star.LoopNone},       // Figure 1 → 2
+		{[]int{3, 4, 5}, star.LoopNone},    // → 4
+		{[]int{2, 3, 4, 5}, star.LoopNone}, // → 8
+		{[]int{5, 3}, star.LoopHub},        // → 1
+		{[]int{3, 4, 5}, star.LoopHub},     // → 1
+		{[]int{5, 3}, star.LoopLeaf},       // → 1
+		{[]int{3, 4, 5}, star.LoopLeaf},    // → 1
+	}
+	for _, tc := range cases {
+		d, err := core.FromPoints(tc.pts, tc.loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := d.Realize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGraph(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, measured := g.ConnectedComponents()
+		predicted := d.PredictedComponents()
+		if !predicted.IsInt64() || predicted.Int64() != int64(measured) {
+			t.Errorf("%v: predicted %s components, measured %d", d, predicted, measured)
+		}
+	}
+}
+
+// At extreme scale the prediction is still available: the decetta design is
+// connected, and the Figure 5 design splits into 2^8 = 256 components.
+func TestPredictedComponentsExtremeScale(t *testing.T) {
+	fig5, err := core.FromPoints([]int{3, 4, 5, 9, 16, 25, 81, 256, 625}, star.LoopNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig5.PredictedComponents(); got.Int64() != 256 {
+		t.Errorf("Figure 5 components = %s, want 256", got)
+	}
+	pts := []int{3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641}
+	decetta, err := core.FromPoints(pts, star.LoopLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decetta.PredictedComponents(); got.Int64() != 1 {
+		t.Errorf("decetta components = %s, want 1", got)
+	}
+}

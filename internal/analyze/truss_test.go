@@ -1,0 +1,141 @@
+package analyze
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/star"
+)
+
+func completeGraph(n int) *sparse.COO[int64] {
+	var tr []sparse.Triple[int64]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				tr = append(tr, sparse.Triple[int64]{Row: i, Col: j, Val: 1})
+			}
+		}
+	}
+	return sparse.MustCOO(n, n, tr)
+}
+
+// K_n is an n-truss: every edge has truss number n.
+func TestTrussCompleteGraphs(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6} {
+		g, err := NewGraph(completeGraph(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges, err := g.TrussDecomposition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(edges) != n*(n-1)/2 {
+			t.Fatalf("K%d: %d edges, want %d", n, len(edges), n*(n-1)/2)
+		}
+		for _, e := range edges {
+			if e.Truss != n {
+				t.Errorf("K%d edge (%d,%d) truss %d, want %d", n, e.U, e.V, e.Truss, n)
+			}
+		}
+	}
+}
+
+// Triangle-free graphs are pure 2-trusses.
+func TestTrussTriangleFree(t *testing.T) {
+	g, err := NewGraph(star.Spec{Points: 6, Loop: star.LoopNone}.Adjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := g.TrussDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if e.Truss != 2 {
+			t.Errorf("star edge (%d,%d) truss %d, want 2", e.U, e.V, e.Truss)
+		}
+	}
+	if MaxTruss(edges) != 2 {
+		t.Errorf("max truss %d, want 2", MaxTruss(edges))
+	}
+}
+
+// K4 with a pendant edge: the K4 edges are 4-truss, the pendant is 2-truss.
+func TestTrussMixed(t *testing.T) {
+	tr := append([]sparse.Triple[int64](nil), completeGraph(4).Tr...)
+	tr = append(tr,
+		sparse.Triple[int64]{Row: 0, Col: 4, Val: 1},
+		sparse.Triple[int64]{Row: 4, Col: 0, Val: 1})
+	full := sparse.MustCOO(5, 5, tr)
+	g, err := NewGraph(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := g.TrussDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		want := 4
+		if e.V == 4 {
+			want = 2
+		}
+		if e.Truss != want {
+			t.Errorf("edge (%d,%d) truss %d, want %d", e.U, e.V, e.Truss, want)
+		}
+	}
+	k4, err := KTrussEdgeCount(edges, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 != 6 {
+		t.Errorf("4-truss has %d edges, want 6", k4)
+	}
+	if _, err := KTrussEdgeCount(edges, 1); err == nil {
+		t.Error("k < 2 accepted")
+	}
+}
+
+// On a hub-loop Kronecker design, every edge of a triangle is at least a
+// 3-truss member, and the number of edges with truss ≥ 3 is consistent with
+// the triangle count (each triangle supports its 3 edges).
+func TestTrussOnKroneckerDesign(t *testing.T) {
+	d, err := core.FromPoints([]int{5, 3}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := g.TrussDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undirected edge count = nnz/2 (no self-loops remain).
+	if len(edges) != a.Dedupe(sr).NNZ()/2 {
+		t.Fatalf("%d undirected edges, want %d", len(edges), a.Dedupe(sr).NNZ()/2)
+	}
+	// Collect edges of enumerated triangles; each must have truss ≥ 3.
+	inTriangle := make(map[[2]int]bool)
+	for _, tri := range g.EnumerateTriangles(0) {
+		inTriangle[[2]int{tri.U, tri.V}] = true
+		inTriangle[[2]int{tri.V, tri.W}] = true
+		inTriangle[[2]int{tri.U, tri.W}] = true
+	}
+	for _, e := range edges {
+		if inTriangle[[2]int{e.U, e.V}] {
+			if e.Truss < 3 {
+				t.Errorf("triangle edge (%d,%d) truss %d < 3", e.U, e.V, e.Truss)
+			}
+		} else if e.Truss != 2 {
+			t.Errorf("non-triangle edge (%d,%d) truss %d != 2", e.U, e.V, e.Truss)
+		}
+	}
+}

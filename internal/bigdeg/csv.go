@@ -1,0 +1,48 @@
+package bigdeg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+)
+
+// ParseCSV reads a "degree,count" stream (the format CSV emits), tolerating
+// a header line, blank lines, and '#' comments. Duplicate degrees merge.
+func ParseCSV(r io.Reader) (*Dist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d := New()
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if lineNo == 1 && strings.EqualFold(line, "degree,count") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bigdeg: line %d: want 'degree,count', got %q", lineNo, line)
+		}
+		deg, ok := new(big.Int).SetString(strings.TrimSpace(parts[0]), 10)
+		if !ok {
+			return nil, fmt.Errorf("bigdeg: line %d: bad degree %q", lineNo, parts[0])
+		}
+		cnt, ok := new(big.Int).SetString(strings.TrimSpace(parts[1]), 10)
+		if !ok {
+			return nil, fmt.Errorf("bigdeg: line %d: bad count %q", lineNo, parts[1])
+		}
+		if deg.Sign() <= 0 || cnt.Sign() <= 0 {
+			return nil, fmt.Errorf("bigdeg: line %d: degree and count must be positive", lineNo)
+		}
+		d.AddCount(deg, cnt)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,59 @@
+package bigdeg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCSVRoundTrip(t *testing.T) {
+	d := FromInt64Map(map[int64]int64{1: 15, 3: 5, 5: 3, 15: 1})
+	back, err := ParseCSV(strings.NewReader(d.CSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(d, back) {
+		t.Error("CSV round trip changed distribution")
+	}
+}
+
+func TestParseCSVTolerance(t *testing.T) {
+	in := "degree,count\n# comment\n\n2, 7\n2,3\n"
+	d, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.CountAt(bi(2)).Int64() != 10 {
+		t.Errorf("parsed %v", d.Entries())
+	}
+}
+
+func TestParseCSVBigValues(t *testing.T) {
+	in := "degree,count\n2705963586782877716483871216764,144111718793178936483840000\n"
+	d, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxDegree().String() != "2705963586782877716483871216764" {
+		t.Error("big degree mangled")
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	for i, in := range []string{
+		"1\n",
+		"x,1\n",
+		"1,y\n",
+		"0,5\n",
+		"5,0\n",
+		"-1,5\n",
+	} {
+		if _, err := ParseCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Empty stream yields an empty distribution, not an error.
+	d, err := ParseCSV(strings.NewReader(""))
+	if err != nil || d.Len() != 0 {
+		t.Errorf("empty stream: %v, %v", d, err)
+	}
+}

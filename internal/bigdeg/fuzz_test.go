@@ -1,0 +1,37 @@
+package bigdeg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV checks the distribution parser never panics and that
+// accepted inputs round-trip through CSV rendering.
+func FuzzParseCSV(f *testing.F) {
+	f.Add("degree,count\n1,5\n3,2\n")
+	f.Add("2705963586782877716483871216764,1\n")
+	f.Add("# x\n\n7 , 9\n")
+	f.Add("0,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		back, err := ParseCSV(strings.NewReader(d.CSV()))
+		if err != nil {
+			t.Fatalf("round trip of accepted distribution failed: %v", err)
+		}
+		if !Equal(d, back) {
+			t.Fatal("round trip changed distribution")
+		}
+		// Invariants of any accepted distribution.
+		if d.Len() > 0 {
+			if d.MinDegree().Sign() <= 0 {
+				t.Fatal("non-positive degree accepted")
+			}
+			if d.SumCounts().Sign() <= 0 {
+				t.Fatal("non-positive total count")
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package bigdeg
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Moment returns the k-th raw moment of the distribution, Σ dᵏ·n(d), with
+// exact big-integer arithmetic. Moment(0) = ΣN (vertices), Moment(1) = nnz.
+// Because degrees multiply under Kronecker combination, every raw moment is
+// multiplicative: Momentₖ(a ⊗ b) = Momentₖ(a)·Momentₖ(b) — another property
+// a designer can read off the constituents.
+func (d *Dist) Moment(k int) (*big.Int, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("bigdeg: negative moment order %d", k)
+	}
+	acc := new(big.Int)
+	kk := big.NewInt(int64(k))
+	var t big.Int
+	for _, e := range d.entries {
+		t.Exp(e.D, kk, nil)
+		t.Mul(&t, e.N)
+		acc.Add(acc, &t)
+	}
+	return acc, nil
+}
+
+// MeanDegree returns Σd·n(d) / Σn(d) as an exact rational.
+func (d *Dist) MeanDegree() (*big.Rat, error) {
+	total := d.SumCounts()
+	if total.Sign() == 0 {
+		return nil, fmt.Errorf("bigdeg: empty distribution has no mean")
+	}
+	return new(big.Rat).SetFrac(d.SumDegreeWeighted(), total), nil
+}
+
+// CCDF returns N(≥ deg), the number of vertices with degree at least deg.
+func (d *Dist) CCDF(deg *big.Int) *big.Int {
+	acc := new(big.Int)
+	for i := d.search(deg); i < len(d.entries); i++ {
+		acc.Add(acc, d.entries[i].N)
+	}
+	return acc
+}
+
+// QuantileDegree returns the smallest degree q such that at least
+// (num/den)·ΣN vertices have degree ≤ q. num/den must lie in (0, 1].
+func (d *Dist) QuantileDegree(num, den int64) (*big.Int, error) {
+	if den <= 0 || num <= 0 || num > den {
+		return nil, fmt.Errorf("bigdeg: quantile %d/%d outside (0, 1]", num, den)
+	}
+	if len(d.entries) == 0 {
+		return nil, fmt.Errorf("bigdeg: empty distribution")
+	}
+	total := d.SumCounts()
+	// threshold = ceil(total·num/den)
+	threshold := new(big.Int).Mul(total, big.NewInt(num))
+	threshold.Add(threshold, big.NewInt(den-1))
+	threshold.Div(threshold, big.NewInt(den))
+	cum := new(big.Int)
+	for _, e := range d.entries {
+		cum.Add(cum, e.N)
+		if cum.Cmp(threshold) >= 0 {
+			return new(big.Int).Set(e.D), nil
+		}
+	}
+	return d.MaxDegree(), nil
+}

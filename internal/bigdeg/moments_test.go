@@ -1,0 +1,131 @@
+package bigdeg
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentBasics(t *testing.T) {
+	d := FromInt64Map(map[int64]int64{1: 15, 3: 5, 5: 3, 15: 1})
+	m0, err := d.Moment(0)
+	if err != nil || m0.Int64() != 24 {
+		t.Errorf("M0 = %v, %v; want 24", m0, err)
+	}
+	m1, err := d.Moment(1)
+	if err != nil || m1.Int64() != 60 { // 15 + 15 + 15 + 15
+		t.Errorf("M1 = %v, %v; want 60", m1, err)
+	}
+	m2, err := d.Moment(2)
+	if err != nil || m2.Int64() != 15+45+75+225 {
+		t.Errorf("M2 = %v, %v; want 360", m2, err)
+	}
+	if _, err := d.Moment(-1); err == nil {
+		t.Error("negative order accepted")
+	}
+}
+
+// Property: every raw moment is multiplicative under Kron.
+func TestQuickMomentsMultiplicative(t *testing.T) {
+	f := func(degsA, degsB []uint8, kRaw uint8) bool {
+		a, b := distFromBytes(degsA), distFromBytes(degsB)
+		if a.Len() == 0 || b.Len() == 0 {
+			return true
+		}
+		k := int(kRaw % 4)
+		c := Kron(a, b)
+		ma, err := a.Moment(k)
+		if err != nil {
+			return false
+		}
+		mb, err := b.Moment(k)
+		if err != nil {
+			return false
+		}
+		mc, err := c.Moment(k)
+		if err != nil {
+			return false
+		}
+		return mc.Cmp(new(big.Int).Mul(ma, mb)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanDegree(t *testing.T) {
+	d := FromInt64Map(map[int64]int64{1: 3, 5: 1})
+	mean, err := d.MeanDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.RatString() != "2" { // (3+5)/4
+		t.Errorf("mean = %s, want 2", mean.RatString())
+	}
+	if _, err := New().MeanDegree(); err == nil {
+		t.Error("empty distribution mean accepted")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	d := FromInt64Map(map[int64]int64{1: 15, 3: 5, 5: 3, 15: 1})
+	cases := []struct {
+		deg  int64
+		want int64
+	}{
+		{1, 24}, {2, 9}, {3, 9}, {4, 4}, {5, 4}, {6, 1}, {15, 1}, {16, 0},
+	}
+	for _, c := range cases {
+		if got := d.CCDF(bi(c.deg)); got.Int64() != c.want {
+			t.Errorf("CCDF(%d) = %s, want %d", c.deg, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDegree(t *testing.T) {
+	d := FromInt64Map(map[int64]int64{1: 15, 3: 5, 5: 3, 15: 1})
+	// Median: 12th of 24 vertices is still degree 1.
+	q, err := d.QuantileDegree(1, 2)
+	if err != nil || q.Int64() != 1 {
+		t.Errorf("median = %v, %v; want 1", q, err)
+	}
+	// 90th percentile: 21.6 → ceil 22 ≥ 15+5=20 → degree 5.
+	q, err = d.QuantileDegree(9, 10)
+	if err != nil || q.Int64() != 5 {
+		t.Errorf("p90 = %v, %v; want 5", q, err)
+	}
+	// Max quantile returns dmax.
+	q, err = d.QuantileDegree(1, 1)
+	if err != nil || q.Int64() != 15 {
+		t.Errorf("p100 = %v, %v; want 15", q, err)
+	}
+	if _, err := d.QuantileDegree(0, 10); err == nil {
+		t.Error("zero quantile accepted")
+	}
+	if _, err := d.QuantileDegree(11, 10); err == nil {
+		t.Error(">1 quantile accepted")
+	}
+	if _, err := New().QuantileDegree(1, 2); err == nil {
+		t.Error("empty distribution accepted")
+	}
+}
+
+// Design-scale sanity: the decetta distribution's mean degree equals
+// edges/vertices exactly.
+func TestMeanDegreeExtremeScale(t *testing.T) {
+	// Build a modest multi-factor distribution and check the identity
+	// mean = M1/M0 holds through Kron combination.
+	f1 := FromInt64Map(map[int64]int64{1: 3, 3: 1})
+	f2 := FromInt64Map(map[int64]int64{1: 4, 2: 1, 4: 1})
+	c := Kron(f1, f2)
+	mean, err := c.MeanDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := c.Moment(1)
+	m0, _ := c.Moment(0)
+	want := new(big.Rat).SetFrac(m1, m0)
+	if mean.Cmp(want) != 0 {
+		t.Errorf("mean %s != M1/M0 %s", mean, want)
+	}
+}

@@ -1,0 +1,126 @@
+// Package cluster simulates the paper's parallel computer (648 nodes × 64
+// Xeon cores) so the full Figure 3 curve — out to 41,472 cores and the
+// 1-second trillion-edge run — can be reproduced from a laptop measurement.
+//
+// The simulation is honest because the algorithm makes it so: Section V's
+// generator has zero interprocessor communication, so a run's completion
+// time is exactly the most-loaded processor's local work divided by the
+// per-core generation rate (plus any fixed launch latency). Per-processor
+// loads come from the same Partition function the real generator uses, not
+// from an idealized E/P.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Machine describes a simulated parallel computer.
+type Machine struct {
+	Nodes        int
+	CoresPerNode int
+}
+
+// MITSuperCloud is the paper's machine: 648 nodes with 64 cores each,
+// 41,472 cores total.
+func MITSuperCloud() Machine { return Machine{Nodes: 648, CoresPerNode: 64} }
+
+// TotalCores returns the machine's processor count.
+func (m Machine) TotalCores() int { return m.Nodes * m.CoresPerNode }
+
+// Validate checks the machine description.
+func (m Machine) Validate() error {
+	if m.Nodes < 1 || m.CoresPerNode < 1 {
+		return fmt.Errorf("cluster: invalid machine %d nodes × %d cores", m.Nodes, m.CoresPerNode)
+	}
+	return nil
+}
+
+// Model carries the calibration inputs: the measured single-core edge
+// generation rate and a fixed per-run launch latency.
+type Model struct {
+	// PerCoreRate is edges generated per second by one core.
+	PerCoreRate float64
+	// LaunchLatency is the fixed startup cost of a parallel run.
+	LaunchLatency time.Duration
+}
+
+// RunReport describes one simulated generation run.
+type RunReport struct {
+	Cores int
+	// TotalEdges is the number of edges the run emits.
+	TotalEdges int64
+	// MaxEdgesPerCore and MinEdgesPerCore describe the load balance; their
+	// difference is bounded by nnz(C) (one B-triple granularity).
+	MaxEdgesPerCore int64
+	MinEdgesPerCore int64
+	// Time is the simulated wall-clock completion time.
+	Time time.Duration
+	// AggregateRate is TotalEdges / Time.
+	AggregateRate float64
+}
+
+// SimulateRun computes the completion time of generating a B ⊗ C design
+// (nnz(B) work units, each fanning out nnz(C) edges, minus one removed
+// self-loop when loopRemoved) on the given core count.
+func SimulateRun(bnnz, cnnz int, loopRemoved bool, model Model, cores int) (RunReport, error) {
+	if bnnz < 1 || cnnz < 1 {
+		return RunReport{}, fmt.Errorf("cluster: empty workload %d×%d", bnnz, cnnz)
+	}
+	if model.PerCoreRate <= 0 {
+		return RunReport{}, fmt.Errorf("cluster: per-core rate must be positive")
+	}
+	parts, err := parallel.Partition(bnnz, cores)
+	if err != nil {
+		return RunReport{}, err
+	}
+	maxLoad, minLoad := int64(-1), int64(-1)
+	for _, r := range parts {
+		load := int64(r.Len()) * int64(cnnz)
+		if maxLoad < 0 || load > maxLoad {
+			maxLoad = load
+		}
+		if minLoad < 0 || load < minLoad {
+			minLoad = load
+		}
+	}
+	total := int64(bnnz) * int64(cnnz)
+	if loopRemoved {
+		total--
+	}
+	secs := float64(maxLoad)/model.PerCoreRate + model.LaunchLatency.Seconds()
+	rep := RunReport{
+		Cores:           cores,
+		TotalEdges:      total,
+		MaxEdgesPerCore: maxLoad,
+		MinEdgesPerCore: minLoad,
+		Time:            time.Duration(secs * float64(time.Second)),
+		AggregateRate:   float64(total) / secs,
+	}
+	return rep, nil
+}
+
+// Sweep simulates runs at a geometric series of core counts up to the
+// machine's total, always including the full machine — the x-axis of
+// Figure 3.
+func Sweep(bnnz, cnnz int, loopRemoved bool, model Model, machine Machine) ([]RunReport, error) {
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	var out []RunReport
+	total := machine.TotalCores()
+	for cores := 1; cores < total; cores *= 4 {
+		rep, err := SimulateRun(bnnz, cnnz, loopRemoved, model, cores)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	rep, err := SimulateRun(bnnz, cnnz, loopRemoved, model, total)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, rep), nil
+}

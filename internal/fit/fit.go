@@ -1,0 +1,184 @@
+// Package fit matches measured degree distributions against Kronecker star
+// designs — the "comparing real graph data with models" use of graph
+// generation that Section III motivates. Given a histogram measured from any
+// graph (an R-MAT sample, a real edge list), it estimates the power-law
+// parameters, proposes candidate designs whose exact edge counts match, and
+// scores each candidate's exact distribution against the measurement.
+package fit
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"repro/internal/bigdeg"
+	"repro/internal/core"
+	"repro/internal/search"
+	"repro/internal/star"
+)
+
+// Summary captures the power-law shape of a measured degree histogram.
+type Summary struct {
+	Vertices  int64
+	Edges     int64 // Σ d·n(d), the adjacency nnz convention
+	MaxDegree int64
+	// Alpha is the paper's slope log n(1)/log dmax; zero when n(1) = 0.
+	Alpha float64
+}
+
+// Summarize reduces a measured histogram (degree → count) to its power-law
+// summary.
+func Summarize(hist map[int64]int64) (Summary, error) {
+	if len(hist) == 0 {
+		return Summary{}, fmt.Errorf("fit: empty histogram")
+	}
+	var s Summary
+	for d, n := range hist {
+		if d <= 0 || n <= 0 {
+			return Summary{}, fmt.Errorf("fit: non-positive histogram entry (%d, %d)", d, n)
+		}
+		s.Vertices += n
+		s.Edges += d * n
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if n1 := hist[1]; n1 > 0 && s.MaxDegree > 1 {
+		s.Alpha = math.Log(float64(n1)) / math.Log(float64(s.MaxDegree))
+	}
+	return s, nil
+}
+
+// Candidate is one proposed design with its fit quality.
+type Candidate struct {
+	Points []int
+	// EdgeErr is the relative error between the design's exact edge count
+	// and the measured Σd·n(d).
+	EdgeErr float64
+	// LogDistance is the mean absolute log₁₀ discrepancy between the
+	// design's exact distribution and the measurement over the union of
+	// binned supports (smaller is better).
+	LogDistance float64
+}
+
+// Options configures the fit search.
+type Options struct {
+	// Candidates are the allowed m̂ values; defaults to a standard pool.
+	Candidates []int
+	// Loop selects the constituent loop mode to fit with.
+	Loop star.LoopMode
+	// MaxFactors bounds design size (default 10).
+	MaxFactors int
+	// EdgeTol is the admissible relative edge-count error (default 0.1).
+	EdgeTol float64
+	// MaxCandidates caps the returned list (default 5).
+	MaxCandidates int
+	// BinBase is the logarithmic bin base for distribution comparison
+	// (default 2); binning absorbs the stochastic scatter of measured data.
+	BinBase float64
+}
+
+func (o *Options) setDefaults() {
+	if len(o.Candidates) == 0 {
+		o.Candidates = []int{3, 4, 5, 7, 9, 11, 16, 25, 49, 81, 121, 256, 625}
+	}
+	if o.MaxFactors == 0 {
+		o.MaxFactors = 10
+	}
+	if o.EdgeTol == 0 {
+		o.EdgeTol = 0.1
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 5
+	}
+	if o.BinBase == 0 {
+		o.BinBase = 2
+	}
+}
+
+// Fit proposes Kronecker designs matching the measured histogram, ranked by
+// distribution distance then edge error.
+func Fit(hist map[int64]int64, opt Options) (Summary, []Candidate, error) {
+	opt.setDefaults()
+	summary, err := Summarize(hist)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	results, err := search.EdgeTarget(big.NewInt(summary.Edges), search.Options{
+		Candidates: opt.Candidates,
+		Loop:       opt.Loop,
+		MinFactors: 1,
+		MaxFactors: opt.MaxFactors,
+		Tol:        opt.EdgeTol,
+		MaxResults: opt.MaxCandidates * 4,
+	})
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	measured := bigdeg.FromInt64Map(hist)
+	var cands []Candidate
+	for _, r := range results {
+		d, err := core.FromPoints(r.Points, opt.Loop)
+		if err != nil {
+			continue
+		}
+		dist, err := d.DegreeDistribution()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Points:      r.Points,
+			EdgeErr:     r.RelErr,
+			LogDistance: binnedLogDistance(measured, dist, opt.BinBase),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].LogDistance != cands[j].LogDistance {
+			return cands[i].LogDistance < cands[j].LogDistance
+		}
+		return cands[i].EdgeErr < cands[j].EdgeErr
+	})
+	if len(cands) > opt.MaxCandidates {
+		cands = cands[:opt.MaxCandidates]
+	}
+	return summary, cands, nil
+}
+
+// binnedLogDistance is the mean |log₁₀ nA(bin) − log₁₀ nB(bin)| over the
+// union of the two distributions' non-empty logarithmic bins; an absent bin
+// counts as a single vertex to keep logs finite.
+func binnedLogDistance(a, b *bigdeg.Dist, base float64) float64 {
+	ba := binsByExp(a, base)
+	bb := binsByExp(b, base)
+	exps := make(map[int]bool)
+	for k := range ba {
+		exps[k] = true
+	}
+	for k := range bb {
+		exps[k] = true
+	}
+	if len(exps) == 0 {
+		return 0
+	}
+	total := 0.0
+	for k := range exps {
+		la, lb := 0.0, 0.0
+		if v, ok := ba[k]; ok {
+			la = bigdeg.Log(v) / math.Ln10
+		}
+		if v, ok := bb[k]; ok {
+			lb = bigdeg.Log(v) / math.Ln10
+		}
+		total += math.Abs(la - lb)
+	}
+	return total / float64(len(exps))
+}
+
+func binsByExp(d *bigdeg.Dist, base float64) map[int]*big.Int {
+	out := make(map[int]*big.Int)
+	for _, b := range d.LogBinned(base) {
+		out[b.Exp] = b.Count
+	}
+	return out
+}

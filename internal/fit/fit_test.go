@@ -1,0 +1,117 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rmat"
+	"repro/internal/star"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize(map[int64]int64{1: 15, 3: 5, 5: 3, 15: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Vertices != 24 || s.Edges != 60 || s.MaxDegree != 15 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Alpha-1) > 1e-12 {
+		t.Errorf("alpha = %v, want 1", s.Alpha)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if _, err := Summarize(map[int64]int64{0: 3}); err == nil {
+		t.Error("zero degree accepted")
+	}
+	if _, err := Summarize(map[int64]int64{2: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+// Self-consistency: fitting the exact distribution of a known design must
+// recover that design with zero edge error and near-zero distance.
+func TestFitRecoversKnownDesign(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4, 5, 9}, star.LoopNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := d.DegreeDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make(map[int64]int64)
+	for _, e := range dist.Entries() {
+		hist[e.D.Int64()] = e.N.Int64()
+	}
+	summary, cands, err := Fit(hist, Options{Loop: star.LoopNone, EdgeTol: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Edges != d.NumEdges().Int64() {
+		t.Errorf("summary edges %d, want %s", summary.Edges, d.NumEdges())
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := cands[0]
+	if best.EdgeErr != 0 {
+		t.Errorf("best edge error %v, want 0", best.EdgeErr)
+	}
+	if best.LogDistance > 1e-9 {
+		t.Errorf("best log distance %v, want ~0", best.LogDistance)
+	}
+	// The recovered factor multiset is {3,4,5,9}.
+	found := map[int]bool{}
+	for _, p := range best.Points {
+		found[p] = true
+	}
+	for _, want := range []int{3, 4, 5, 9} {
+		if !found[want] {
+			t.Errorf("best candidate %v missing factor %d", best.Points, want)
+		}
+	}
+}
+
+// Fitting a measured R-MAT histogram: the pipeline must run end to end and
+// produce candidates within the edge tolerance, with sensible ranking.
+func TestFitRMATMeasurement(t *testing.T) {
+	p := rmat.Graph500(12, 8, 3)
+	edges, err := rmat.Generate(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rmat.Measure(edges, p.NumVertices())
+	summary, cands, err := Fit(m.DegreeHist, Options{Loop: star.LoopNone, EdgeTol: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Vertices != m.NonEmptyVertices {
+		t.Errorf("summary vertices %d, want %d", summary.Vertices, m.NonEmptyVertices)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates for R-MAT fit")
+	}
+	for _, c := range cands {
+		if c.EdgeErr > 0.15 {
+			t.Errorf("candidate %v edge error %v beyond tolerance", c.Points, c.EdgeErr)
+		}
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].LogDistance > cands[i].LogDistance {
+			t.Error("candidates not ranked by distance")
+			break
+		}
+	}
+}
+
+func TestFitDefaults(t *testing.T) {
+	var o Options
+	o.setDefaults()
+	if len(o.Candidates) == 0 || o.MaxFactors != 10 || o.EdgeTol != 0.1 ||
+		o.MaxCandidates != 5 || o.BinBase != 2 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,55 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// FuzzReadTSV checks the TSV parser never panics and that anything it
+// accepts survives a write/read round trip.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("0\t1\t3\n1\t0\t4\n")
+	f.Add("# comment\n\n2 2 -5\n")
+	f.Add("x\ty\tz\n")
+	f.Add("0\t0\t9223372036854775807\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadTSV(strings.NewReader(input), 8, 8)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, m); err != nil {
+			t.Fatalf("write of accepted matrix failed: %v", err)
+		}
+		back, err := ReadTSV(&buf, 8, 8)
+		if err != nil {
+			t.Fatalf("round trip of accepted matrix failed: %v", err)
+		}
+		if !sparse.Equal(m, back, sr) {
+			t.Fatal("round trip changed matrix")
+		}
+	})
+}
+
+// FuzzReadMatrixMarket checks the MatrixMarket parser never panics and that
+// accepted inputs keep their dimensions consistent.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, tr := range m.Tr {
+			if tr.Row < 0 || tr.Row >= m.NumRows || tr.Col < 0 || tr.Col >= m.NumCols {
+				t.Fatalf("accepted out-of-bounds triple %+v in %dx%d", tr, m.NumRows, m.NumCols)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Package graphio reads and writes edge lists in the tab-separated
+// "row col value" triples format common to Graph500/GraphChallenge tooling,
+// including the per-processor chunk layout the paper's parallel generator
+// naturally produces (one file per worker, no coordination).
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// WriteTSV writes one "row\tcol\tval" line per stored triple. Indices are
+// written 0-based.
+func WriteTSV(w io.Writer, m *sparse.COO[int64]) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range m.Tr {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", t.Row, t.Col, t.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses "row\tcol\tval" lines into a COO matrix with the given
+// dimensions. Blank lines and lines starting with '#' are skipped.
+func ReadTSV(r io.Reader, rows, cols int) (*sparse.COO[int64], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var tr []sparse.Triple[int64]
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graphio: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		row, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d row: %w", lineNo, err)
+		}
+		col, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d col: %w", lineNo, err)
+		}
+		val, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d val: %w", lineNo, err)
+		}
+		tr = append(tr, sparse.Triple[int64]{Row: row, Col: col, Val: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sparse.NewCOO(rows, cols, tr)
+}
+
+// ChunkPath returns the conventional per-worker file name
+// dir/prefix.<worker>.tsv.
+func ChunkPath(dir, prefix string, worker int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%d.tsv", prefix, worker))
+}
+
+// WriteChunks writes each part to its own file — the paper's generation
+// pattern, where every processor writes its Ap independently with no
+// coordination. It returns the file paths written.
+func WriteChunks(dir, prefix string, parts []*sparse.COO[int64]) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(parts))
+	for i, part := range parts {
+		path := ChunkPath(dir, prefix, i)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := WriteTSV(f, part); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		paths[i] = path
+	}
+	return paths, nil
+}
+
+// ReadChunks reads per-worker files back and concatenates their triples
+// into one matrix with the given dimensions.
+func ReadChunks(paths []string, rows, cols int) (*sparse.COO[int64], error) {
+	var tr []sparse.Triple[int64]
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ReadTSV(f, rows, cols)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("graphio: %s: %w", path, err)
+		}
+		tr = append(tr, m.Tr...)
+	}
+	return sparse.NewCOO(rows, cols, tr)
+}

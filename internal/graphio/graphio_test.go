@@ -1,0 +1,94 @@
+package graphio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+var sr = semiring.PlusTimesInt64()
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := sparse.FromDense([][]int64{
+		{0, 2, 0},
+		{1, 0, 0},
+		{0, 0, 5},
+	}, sr)
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(m, back, sr) {
+		t.Error("TSV round trip changed matrix")
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0\t1\t3\n  \n1 0 4\n"
+	m, err := ReadTSV(strings.NewReader(in), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 || m.At(0, 1, sr) != 3 || m.At(1, 0, sr) != 4 {
+		t.Errorf("parsed %v", m)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("0\t1\n"), 2, 2); err == nil {
+		t.Error("2-field line accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("x\t1\t1\n"), 2, 2); err == nil {
+		t.Error("non-numeric row accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("0\ty\t1\n"), 2, 2); err == nil {
+		t.Error("non-numeric col accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("0\t1\tz\n"), 2, 2); err == nil {
+		t.Error("non-numeric val accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("5\t1\t1\n"), 2, 2); err == nil {
+		t.Error("out-of-bounds entry accepted")
+	}
+}
+
+func TestChunksRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	parts := []*sparse.COO[int64]{
+		sparse.FromDense([][]int64{{1, 0}, {0, 0}}, sr),
+		sparse.FromDense([][]int64{{0, 0}, {0, 2}}, sr),
+		sparse.MustCOO[int64](2, 2, nil), // empty worker
+	}
+	paths, err := WriteChunks(dir, "part", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("wrote %d files, want 3", len(paths))
+	}
+	if filepath.Base(paths[1]) != "part.1.tsv" {
+		t.Errorf("chunk name %s, want part.1.tsv", paths[1])
+	}
+	whole, err := ReadChunks(paths, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.FromDense([][]int64{{1, 0}, {0, 2}}, sr)
+	if !sparse.Equal(whole, want, sr) {
+		t.Error("chunk reassembly wrong")
+	}
+}
+
+func TestReadChunksMissingFile(t *testing.T) {
+	if _, err := ReadChunks([]string{"/nonexistent/x.tsv"}, 2, 2); err == nil {
+		t.Error("missing file accepted")
+	}
+}

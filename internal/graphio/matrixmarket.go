@@ -1,0 +1,118 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate format
+// ("%%MatrixMarket matrix coordinate integer general"), the interchange
+// format of SuiteSparse and the GraphChallenge data sets. Indices are
+// written 1-based per the format's convention.
+func WriteMatrixMarket(w io.Writer, m *sparse.COO[int64]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate integer general"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NumRows, m.NumCols, m.NNZ()); err != nil {
+		return err
+	}
+	for _, t := range m.Tr {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", t.Row+1, t.Col+1, t.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a coordinate-format MatrixMarket stream. Supported
+// header variants: integer/real/pattern fields with general symmetry
+// ("symmetric" inputs are expanded to both triangles). Real values must be
+// integral.
+func ReadMatrixMarket(r io.Reader) (*sparse.COO[int64], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graphio: empty MatrixMarket stream")
+	}
+	headerFields := strings.Fields(strings.ToLower(sc.Text()))
+	if len(headerFields) != 5 || headerFields[0] != "%%matrixmarket" ||
+		headerFields[1] != "matrix" || headerFields[2] != "coordinate" {
+		return nil, fmt.Errorf("graphio: unsupported MatrixMarket header %q", sc.Text())
+	}
+	field := headerFields[3] // integer | real | pattern
+	switch field {
+	case "integer", "real", "pattern":
+	default:
+		return nil, fmt.Errorf("graphio: unsupported field type %q", field)
+	}
+	symmetric := false
+	switch headerFields[4] {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("graphio: unsupported symmetry %q", headerFields[4])
+	}
+
+	// Size line (skipping comments).
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("graphio: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	tr := make([]sparse.Triple[int64], 0, nnz)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		wantFields := 3
+		if field == "pattern" {
+			wantFields = 2
+		}
+		if len(fields) != wantFields {
+			return nil, fmt.Errorf("graphio: entry %q has %d fields, want %d", line, len(fields), wantFields)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: bad row in %q: %w", line, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: bad col in %q: %w", line, err)
+		}
+		v := int64(1)
+		if field != "pattern" {
+			f, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: bad value in %q: %w", line, err)
+			}
+			v = int64(f)
+			if float64(v) != f {
+				return nil, fmt.Errorf("graphio: non-integral value %v", f)
+			}
+		}
+		tr = append(tr, sparse.Triple[int64]{Row: i - 1, Col: j - 1, Val: v})
+		if symmetric && i != j {
+			tr = append(tr, sparse.Triple[int64]{Row: j - 1, Col: i - 1, Val: v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sparse.NewCOO(rows, cols, tr)
+}

@@ -1,0 +1,97 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := sparse.FromDense([][]int64{
+		{0, 3, 0},
+		{0, 0, -2},
+		{7, 0, 0},
+	}, sr)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "%%MatrixMarket matrix coordinate integer general\n3 3 3\n") {
+		t.Errorf("header wrong:\n%s", buf.String())
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(m, back, sr) {
+		t.Error("MatrixMarket round trip changed matrix")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer symmetric
+% a comment
+3 3 2
+2 1 5
+3 3 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0, sr) != 5 || m.At(0, 1, sr) != 5 {
+		t.Error("symmetric expansion missing")
+	}
+	if m.At(2, 2, sr) != 1 {
+		t.Error("diagonal entry wrong")
+	}
+	if m.Dedupe(sr).NNZ() != 3 {
+		t.Errorf("nnz = %d, want 3 (diagonal not doubled)", m.Dedupe(sr).NNZ())
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1, sr) != 1 || m.At(1, 0, sr) != 1 {
+		t.Error("pattern entries not set to 1")
+	}
+}
+
+func TestMatrixMarketRealIntegral(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 4.0\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0, sr) != 4 {
+		t.Error("real value not parsed")
+	}
+	bad := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 4.5\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(bad)); err == nil {
+		t.Error("non-integral real accepted")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array integer general\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate integer skew-symmetric\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate integer general\nnot a size line\n",
+		"%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2\n",
+		"%%MatrixMarket matrix coordinate integer general\n2 2 1\nx 2 1\n",
+		"%%MatrixMarket matrix coordinate integer general\n2 2 1\n9 9 1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package incidence
+
+import (
+	"testing"
+
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+	"repro/internal/star"
+)
+
+var sr = semiring.PlusTimesInt64()
+
+func TestFromAdjacencyRoundTrip(t *testing.T) {
+	a := sparse.FromDense([][]int64{
+		{0, 1, 0},
+		{1, 0, 1},
+		{0, 1, 0},
+	}, sr)
+	p, err := FromAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumEdges() != 4 {
+		t.Errorf("edges = %d, want 4", p.NumEdges())
+	}
+	back, err := p.Adjacency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(a, back, sr) {
+		t.Error("Eoutᵀ·Ein != A")
+	}
+}
+
+func TestWeightedAdjacencyRoundTrip(t *testing.T) {
+	a := sparse.FromDense([][]int64{
+		{0, 3},
+		{7, 0},
+	}, sr)
+	p, err := FromAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.Adjacency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(a, back, sr) {
+		t.Error("weights not preserved through incidence round trip")
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	if _, err := FromAdjacency(sparse.MustCOO[int64](2, 3, nil)); err == nil {
+		t.Error("non-square adjacency accepted")
+	}
+}
+
+// The paper's key claim: Kronecker-composed incidence matrices satisfy the
+// adjacency identity for the product graph, i.e.
+// (⊗Ek,out)ᵀ(⊗Ek,in) = ⊗Ak.
+func TestKronComposition(t *testing.T) {
+	specs := []star.Spec{
+		{Points: 3, Loop: star.LoopHub},
+		{Points: 4, Loop: star.LoopHub},
+	}
+	pairs := make([]*Pair, len(specs))
+	adjs := make([]*sparse.COO[int64], len(specs))
+	for i, s := range specs {
+		adjs[i] = s.Adjacency()
+		p, err := FromAdjacency(adjs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = p
+	}
+	composed, err := KronN(pairs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := composed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gotAdj, err := composed.Adjacency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdj, err := sparse.KronN(sr, adjs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(gotAdj, wantAdj, sr) {
+		t.Error("composed incidence adjacency != Kronecker of adjacencies")
+	}
+	// Edge count multiplies.
+	if composed.NumEdges() != pairs[0].NumEdges()*pairs[1].NumEdges() {
+		t.Error("edge count not multiplicative")
+	}
+}
+
+// Different incidence realizations (different edge orders) of the same graph
+// are equivalent through their adjacency product.
+func TestEdgeOrderIrrelevant(t *testing.T) {
+	a := star.Spec{Points: 4, Loop: star.LoopNone}.Adjacency()
+	p1, err := FromAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a second pair with reversed edge order.
+	ne := p1.NumEdges()
+	rev := func(m *sparse.COO[int64]) *sparse.COO[int64] {
+		tr := make([]sparse.Triple[int64], len(m.Tr))
+		for i, t0 := range m.Tr {
+			tr[i] = sparse.Triple[int64]{Row: ne - 1 - t0.Row, Col: t0.Col, Val: t0.Val}
+		}
+		return sparse.MustCOO(m.NumRows, m.NumCols, tr)
+	}
+	p2 := &Pair{Out: rev(p1.Out), In: rev(p1.In)}
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a1, err := p1.Adjacency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p2.Adjacency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(a1, a2, sr) {
+		t.Error("edge order changed the adjacency product")
+	}
+}
+
+func TestValidateCatchesBrokenPairs(t *testing.T) {
+	a := star.Spec{Points: 3, Loop: star.LoopNone}.Adjacency()
+	p, err := FromAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two entries in one row.
+	broken := &Pair{
+		Out: sparse.MustCOO(p.Out.NumRows, p.Out.NumCols, append(append([]sparse.Triple[int64]{}, p.Out.Tr...), sparse.Triple[int64]{Row: 0, Col: 1, Val: 1})),
+		In:  p.In,
+	}
+	if broken.Validate() == nil {
+		t.Error("double-entry row not caught")
+	}
+	// Mismatched edge counts.
+	mismatch := &Pair{Out: p.Out, In: sparse.MustCOO[int64](p.In.NumRows+1, p.In.NumCols, nil)}
+	if mismatch.Validate() == nil {
+		t.Error("mismatched edge count not caught")
+	}
+	if _, err := KronN(); err == nil {
+		t.Error("empty KronN accepted")
+	}
+}
+
+// Incidence matrices represent multigraphs: duplicate edges sum in the
+// adjacency product.
+func TestMultigraphSupport(t *testing.T) {
+	// Two parallel edges 0→1.
+	out := sparse.MustCOO(2, 2, []sparse.Triple[int64]{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 0, Val: 1},
+	})
+	in := sparse.MustCOO(2, 2, []sparse.Triple[int64]{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 1, Val: 1},
+	})
+	p := &Pair{Out: out, In: in}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Adjacency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.At(0, 1, sr); got != 2 {
+		t.Errorf("A(0,1) = %d, want 2 (multigraph multiplicity)", got)
+	}
+}

@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// BFSTree computes a breadth-first parent tree from src, the output format
+// of the Graph500 benchmark's kernel 2: parent[v] is v's predecessor on a
+// shortest path from src, parent[src] = src, and -1 marks unreachable
+// vertices. Ties are broken toward the smallest parent id so the result is
+// deterministic.
+func BFSTree(a *sparse.CSR[bool], src int) ([]int, error) {
+	if a.NumRows != a.NumCols {
+		return nil, fmt.Errorf("kernels: BFSTree needs a square matrix, got %dx%d", a.NumRows, a.NumCols)
+	}
+	n := a.NumRows
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("kernels: BFSTree source %d out of range [0, %d)", src, n)
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	frontier := []int{src}
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			cols, _ := a.Row(v)
+			for _, w := range cols {
+				if w != v && parent[w] < 0 {
+					parent[w] = v
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return parent, nil
+}
+
+// ValidateBFSTree performs the Graph500 result checks on a parent array:
+//
+//  1. the root is its own parent;
+//  2. every tree edge (parent[v], v) exists in the graph;
+//  3. levels derived from the tree differ by exactly one along tree edges
+//     and the tree has no cycles;
+//  4. every vertex reachable from the root is in the tree and vice versa.
+//
+// It returns nil when all checks pass.
+func ValidateBFSTree(a *sparse.CSR[bool], src int, parent []int) error {
+	n := a.NumRows
+	if len(parent) != n {
+		return fmt.Errorf("kernels: parent array length %d, want %d", len(parent), n)
+	}
+	if parent[src] != src {
+		return fmt.Errorf("kernels: root %d has parent %d", src, parent[src])
+	}
+	// Derive levels by chasing parents with cycle detection.
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	var chase func(v int, hops int) (int, error)
+	chase = func(v int, hops int) (int, error) {
+		if hops > n {
+			return 0, fmt.Errorf("kernels: cycle in parent chain at %d", v)
+		}
+		if level[v] >= 0 {
+			return level[v], nil
+		}
+		p := parent[v]
+		if p < 0 || p >= n {
+			return 0, fmt.Errorf("kernels: vertex %d has invalid parent %d", v, p)
+		}
+		lp, err := chase(p, hops+1)
+		if err != nil {
+			return 0, err
+		}
+		level[v] = lp + 1
+		return level[v], nil
+	}
+	for v := 0; v < n; v++ {
+		if parent[v] < 0 {
+			continue
+		}
+		if _, err := chase(v, 0); err != nil {
+			return err
+		}
+		if v != src {
+			// Tree edge must exist in the graph.
+			if !edgeExists(a, parent[v], v) {
+				return fmt.Errorf("kernels: tree edge (%d,%d) not in graph", parent[v], v)
+			}
+			if level[v] != level[parent[v]]+1 {
+				return fmt.Errorf("kernels: level(%d)=%d but level(parent)=%d",
+					v, level[v], level[parent[v]])
+			}
+		}
+	}
+	// Reachability agreement with an independent BFS.
+	ref, err := BFSLevels(a, src)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		inTree := parent[v] >= 0
+		reachable := ref[v] >= 0
+		if inTree != reachable {
+			return fmt.Errorf("kernels: vertex %d reachability mismatch (tree %v, BFS %v)", v, inTree, reachable)
+		}
+		if reachable && level[v] != ref[v] {
+			return fmt.Errorf("kernels: vertex %d tree level %d != BFS level %d", v, level[v], ref[v])
+		}
+	}
+	return nil
+}
+
+func edgeExists(a *sparse.CSR[bool], u, v int) bool {
+	cols, _ := a.Row(u)
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case cols[mid] < v:
+			lo = mid + 1
+		case cols[mid] > v:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}

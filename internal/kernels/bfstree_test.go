@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/star"
+)
+
+func TestBFSTreePath(t *testing.T) {
+	a := BoolFromInt64(pathGraph(5))
+	parent, err := BFSTree(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 2, 3}
+	for v := range want {
+		if parent[v] != want[v] {
+			t.Errorf("parent[%d] = %d, want %d", v, parent[v], want[v])
+		}
+	}
+	if err := ValidateBFSTree(a, 0, parent); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSTreeUnreachable(t *testing.T) {
+	m := sparse.MustCOO(4, 4, []sparse.Triple[int64]{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	})
+	a := BoolFromInt64(m)
+	parent, err := BFSTree(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[2] != -1 || parent[3] != -1 {
+		t.Errorf("unreachable parents = %v", parent)
+	}
+	if err := ValidateBFSTree(a, 0, parent); err != nil {
+		t.Error(err)
+	}
+}
+
+// Graph500 workflow on a designed Kronecker graph: generate, build BFS
+// trees from several roots, validate every tree.
+func TestBFSTreeOnKroneckerDesign(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4, 5}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BoolFromInt64(adj)
+	for _, root := range []int{0, 1, 17, 119} {
+		parent, err := BFSTree(a, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateBFSTree(a, root, parent); err != nil {
+			t.Errorf("root %d: %v", root, err)
+		}
+	}
+}
+
+func TestValidateBFSTreeCatchesCorruption(t *testing.T) {
+	a := BoolFromInt64(pathGraph(5))
+	parent, err := BFSTree(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong root parent.
+	bad := append([]int(nil), parent...)
+	bad[0] = 1
+	if ValidateBFSTree(a, 0, bad) == nil {
+		t.Error("bad root not caught")
+	}
+
+	// Non-edge in the tree.
+	bad2 := append([]int(nil), parent...)
+	bad2[4] = 0 // (0,4) is not an edge of the path
+	if ValidateBFSTree(a, 0, bad2) == nil {
+		t.Error("phantom tree edge not caught")
+	}
+
+	// Cycle.
+	bad3 := append([]int(nil), parent...)
+	bad3[1], bad3[2] = 2, 1
+	if ValidateBFSTree(a, 0, bad3) == nil {
+		t.Error("parent cycle not caught")
+	}
+
+	// Wrong level (skips a hop): claim 3's parent is 1.
+	bad4 := append([]int(nil), parent...)
+	bad4[3] = 1
+	if ValidateBFSTree(a, 0, bad4) == nil {
+		t.Error("non-shortest tree not caught")
+	}
+
+	// Reachability mismatch: drop a reachable vertex from the tree.
+	bad5 := append([]int(nil), parent...)
+	bad5[4] = -1
+	if ValidateBFSTree(a, 0, bad5) == nil {
+		t.Error("missing reachable vertex not caught")
+	}
+
+	// Wrong length.
+	if ValidateBFSTree(a, 0, parent[:3]) == nil {
+		t.Error("short parent array not caught")
+	}
+}
+
+func TestBFSTreeValidation(t *testing.T) {
+	a := BoolFromInt64(pathGraph(3))
+	if _, err := BFSTree(a, 9); err == nil {
+		t.Error("bad source accepted")
+	}
+	rect := sparse.MustCOO[int64](2, 3, nil)
+	if _, err := BFSTree(BoolFromInt64(rect), 0); err == nil {
+		t.Error("non-square accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Package kernels implements classic graph algorithms in the linear-algebra
+// style the paper points to ("the parallel Kronecker graph generator is
+// ideally suited to the GraphBLAS.org software standard"): each kernel is a
+// loop of semiring matrix-vector products over the sparse substrate.
+//
+//	BFS        — or-and semiring frontier expansion
+//	SSSP       — min-plus Bellman-Ford relaxation
+//	PageRank   — plus-times power iteration
+//	Components — minimum-label propagation
+//
+// They serve as downstream workloads for generated graphs and as living
+// documentation of what the semiring abstraction buys.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// BFSLevels computes hop distances from src using boolean frontier
+// expansion: frontierₖ₊₁ = Aᵀ ∨.∧ frontierₖ, masked by unvisited vertices.
+// Unreachable vertices get -1.
+func BFSLevels(a *sparse.CSR[bool], src int) ([]int, error) {
+	if a.NumRows != a.NumCols {
+		return nil, fmt.Errorf("kernels: BFS needs a square matrix, got %dx%d", a.NumRows, a.NumCols)
+	}
+	n := a.NumRows
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("kernels: BFS source %d out of range [0, %d)", src, n)
+	}
+	sb := semiring.OrAnd()
+	at := a.Transpose() // pull along in-edges: next = Aᵀ·frontier
+	levels := make([]int, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[src] = 0
+	frontier := make([]bool, n)
+	frontier[src] = true
+	for level := 1; level <= n; level++ {
+		next, err := sparse.MxV(at, frontier, sb)
+		if err != nil {
+			return nil, err
+		}
+		any := false
+		for v := range next {
+			if next[v] && levels[v] < 0 {
+				levels[v] = level
+				any = true
+			} else {
+				next[v] = false
+			}
+		}
+		if !any {
+			break
+		}
+		frontier = next
+	}
+	return levels, nil
+}
+
+// SSSP computes single-source shortest path distances on a non-negatively
+// weighted digraph by min-plus Bellman-Ford iteration:
+// dₖ₊₁ = min(dₖ, Aᵀ min.+ dₖ). Unreachable vertices get +Inf. A negative
+// cycle (impossible with non-negative weights, checked) aborts.
+func SSSP(a *sparse.CSR[float64], src int) ([]float64, error) {
+	if a.NumRows != a.NumCols {
+		return nil, fmt.Errorf("kernels: SSSP needs a square matrix, got %dx%d", a.NumRows, a.NumCols)
+	}
+	n := a.NumRows
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("kernels: SSSP source %d out of range [0, %d)", src, n)
+	}
+	for _, w := range a.Val {
+		if w < 0 {
+			return nil, fmt.Errorf("kernels: SSSP requires non-negative weights, found %v", w)
+		}
+	}
+	sp := semiring.MinPlus()
+	at := a.Transpose()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sp.Zero // +Inf
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		relaxed, err := sparse.MxV(at, dist, sp)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		for v := range dist {
+			if relaxed[v] < dist[v] {
+				dist[v] = relaxed[v]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist, nil
+}
+
+// PageRankResult carries the scores and convergence metadata.
+type PageRankResult struct {
+	Scores     []float64
+	Iterations int
+	Delta      float64
+}
+
+// PageRank runs damped power iteration r ← d·Pᵀr + (1−d)/n with dangling-
+// vertex mass redistributed uniformly, stopping when the L1 change falls
+// below tol or maxIter is reached.
+func PageRank(a *sparse.CSR[int64], damping, tol float64, maxIter int) (*PageRankResult, error) {
+	if a.NumRows != a.NumCols {
+		return nil, fmt.Errorf("kernels: PageRank needs a square matrix, got %dx%d", a.NumRows, a.NumCols)
+	}
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("kernels: damping %v outside (0,1)", damping)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("kernels: maxIter %d < 1", maxIter)
+	}
+	n := a.NumRows
+	if n == 0 {
+		return &PageRankResult{Scores: nil}, nil
+	}
+	// Column-stochastic transition: follow out-edges, normalized by
+	// out-degree. Build Pᵀ directly in CSR over columns = out-vertices.
+	outDeg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		for k := range cols {
+			outDeg[i] += float64(vals[k])
+		}
+	}
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	res := &PageRankResult{}
+	for iter := 1; iter <= maxIter; iter++ {
+		// Dangling mass.
+		dangling := 0.0
+		for i := 0; i < n; i++ {
+			if outDeg[i] == 0 {
+				dangling += r[i]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for i := 0; i < n; i++ {
+			if outDeg[i] == 0 {
+				continue
+			}
+			share := damping * r[i] / outDeg[i]
+			cols, vals := a.Row(i)
+			for k, j := range cols {
+				next[j] += share * float64(vals[k])
+			}
+		}
+		delta := 0.0
+		for i := range r {
+			delta += math.Abs(next[i] - r[i])
+		}
+		r, next = next, r
+		res.Iterations = iter
+		res.Delta = delta
+		if delta < tol {
+			break
+		}
+	}
+	res.Scores = r
+	return res, nil
+}
+
+// Components assigns component labels by iterated minimum-label propagation
+// (label ← min(label, neighbors' labels)), a standard linear-algebraic
+// connected-components formulation. Returns dense labels in [0, k) and k.
+func Components(a *sparse.CSR[int64]) ([]int, int, error) {
+	if a.NumRows != a.NumCols {
+		return nil, 0, fmt.Errorf("kernels: Components needs a square matrix, got %dx%d", a.NumRows, a.NumCols)
+	}
+	n := a.NumRows
+	label := make([]int, n)
+	for i := range label {
+		label[i] = i
+	}
+	for {
+		changed := false
+		for i := 0; i < n; i++ {
+			cols, _ := a.Row(i)
+			for _, j := range cols {
+				if label[j] < label[i] {
+					label[i] = label[j]
+					changed = true
+				} else if label[i] < label[j] {
+					label[j] = label[i]
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Compact labels to [0, k).
+	remap := make(map[int]int)
+	for i := range label {
+		if _, ok := remap[label[i]]; !ok {
+			remap[label[i]] = len(remap)
+		}
+		label[i] = remap[label[i]]
+	}
+	return label, len(remap), nil
+}
+
+// BoolFromInt64 converts a 0/1 integer adjacency matrix into the boolean
+// pattern matrix the BFS kernel consumes.
+func BoolFromInt64(a *sparse.COO[int64]) *sparse.CSR[bool] {
+	sb := semiring.OrAnd()
+	tr := make([]sparse.Triple[bool], 0, a.NNZ())
+	for _, t := range a.Tr {
+		if t.Val != 0 {
+			tr = append(tr, sparse.Triple[bool]{Row: t.Row, Col: t.Col, Val: true})
+		}
+	}
+	return sparse.MustCOO(a.NumRows, a.NumCols, tr).ToCSR(sb)
+}

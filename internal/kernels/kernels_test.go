@@ -1,0 +1,267 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/core"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+	"repro/internal/star"
+)
+
+var srI = semiring.PlusTimesInt64()
+
+func pathGraph(n int) *sparse.COO[int64] {
+	var tr []sparse.Triple[int64]
+	for i := 0; i+1 < n; i++ {
+		tr = append(tr, sparse.Triple[int64]{Row: i, Col: i + 1, Val: 1},
+			sparse.Triple[int64]{Row: i + 1, Col: i, Val: 1})
+	}
+	return sparse.MustCOO(n, n, tr)
+}
+
+func TestBFSLevelsPath(t *testing.T) {
+	a := BoolFromInt64(pathGraph(6))
+	levels, err := BFSLevels(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 1, 2, 3, 4, 5} {
+		if levels[i] != want {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], want)
+		}
+	}
+	if _, err := BFSLevels(a, 99); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestBFSLevelsMatchAnalyze(t *testing.T) {
+	// BFS through the semiring kernel must match the combinatorial BFS in
+	// internal/analyze on a realized Kronecker design.
+	d, err := core.FromPoints([]int{3, 4, 5}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := analyze.NewGraph(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BFSLevels(BoolFromInt64(adj), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: semiring BFS %d, combinatorial %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	// Two disjoint edges.
+	m := sparse.MustCOO(4, 4, []sparse.Triple[int64]{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	})
+	levels, err := BFSLevels(BoolFromInt64(m), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[2] != -1 || levels[3] != -1 {
+		t.Errorf("unreachable levels = %v", levels)
+	}
+}
+
+func TestSSSPWeightedPath(t *testing.T) {
+	// 0 →(1) 1 →(2) 2, plus direct 0 →(10) 2.
+	inf := math.Inf(1)
+	d := [][]float64{
+		{inf, 1, 10},
+		{inf, inf, 2},
+		{inf, inf, inf},
+	}
+	sp := semiring.MinPlus()
+	a := sparse.FromDense(d, sp).ToCSR(sp)
+	dist, err := SSSP(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 0 || dist[1] != 1 || dist[2] != 3 {
+		t.Errorf("dist = %v, want [0 1 3]", dist)
+	}
+}
+
+func TestSSSPMatchesBFSOnUnitWeights(t *testing.T) {
+	// With all weights 1, SSSP distances equal BFS levels.
+	adj := pathGraph(7)
+	sp := semiring.MinPlus()
+	var tr []sparse.Triple[float64]
+	for _, e := range adj.Tr {
+		tr = append(tr, sparse.Triple[float64]{Row: e.Row, Col: e.Col, Val: 1})
+	}
+	a := sparse.MustCOO(7, 7, tr).ToCSR(sp)
+	dist, err := SSSP(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := BFSLevels(BoolFromInt64(adj), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range levels {
+		if float64(levels[v]) != dist[v] {
+			t.Errorf("vertex %d: SSSP %v, BFS %d", v, dist[v], levels[v])
+		}
+	}
+}
+
+func TestSSSPRejectsNegative(t *testing.T) {
+	sp := semiring.MinPlus()
+	a := sparse.MustCOO(2, 2, []sparse.Triple[float64]{{Row: 0, Col: 1, Val: -1}}).ToCSR(sp)
+	if _, err := SSSP(a, 0); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	// On a cycle (2-regular), PageRank is uniform.
+	n := 8
+	var tr []sparse.Triple[int64]
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		tr = append(tr, sparse.Triple[int64]{Row: i, Col: j, Val: 1},
+			sparse.Triple[int64]{Row: j, Col: i, Val: 1})
+	}
+	a := sparse.MustCOO(n, n, tr).ToCSR(srI)
+	res, err := PageRank(a, 0.85, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range res.Scores {
+		if math.Abs(s-1.0/float64(n)) > 1e-9 {
+			t.Errorf("score[%d] = %v, want uniform %v", v, s, 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4, 5}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PageRank(adj.ToCSR(srI), 0.85, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	maxV, maxS := -1, -1.0
+	for v, s := range res.Scores {
+		sum += s
+		if s > maxS {
+			maxV, maxS = v, s
+		}
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Errorf("scores sum to %v, want 1", sum)
+	}
+	// The hub-of-hubs dominates.
+	if maxV != 0 {
+		t.Errorf("max PageRank at vertex %d, want 0", maxV)
+	}
+	if res.Iterations < 2 || res.Delta > 1e-10 {
+		t.Errorf("iterations %d, delta %v", res.Iterations, res.Delta)
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	// 0 → 1; vertex 1 dangles. Scores must still sum to 1.
+	a := sparse.MustCOO(2, 2, []sparse.Triple[int64]{{Row: 0, Col: 1, Val: 1}}).ToCSR(srI)
+	res, err := PageRank(a, 0.85, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Scores[0]+res.Scores[1]-1) > 1e-9 {
+		t.Errorf("dangling scores %v do not sum to 1", res.Scores)
+	}
+	if res.Scores[1] <= res.Scores[0] {
+		t.Error("sink vertex should outrank source")
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	a := pathGraph(3).ToCSR(srI)
+	if _, err := PageRank(a, 0, 1e-6, 10); err == nil {
+		t.Error("damping 0 accepted")
+	}
+	if _, err := PageRank(a, 1, 1e-6, 10); err == nil {
+		t.Error("damping 1 accepted")
+	}
+	if _, err := PageRank(a, 0.85, 1e-6, 0); err == nil {
+		t.Error("maxIter 0 accepted")
+	}
+	rect := sparse.MustCOO[int64](2, 3, nil).ToCSR(srI)
+	if _, err := PageRank(rect, 0.85, 1e-6, 10); err == nil {
+		t.Error("rectangular accepted")
+	}
+}
+
+func TestComponentsMatchesAnalyze(t *testing.T) {
+	// Figure 1's two-component product graph.
+	a := star.Spec{Points: 5, Loop: star.LoopNone}.Adjacency()
+	b := star.Spec{Points: 3, Loop: star.LoopNone}.Adjacency()
+	prod, err := sparse.Kron(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, k, err := Components(prod.ToCSR(srI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("components = %d, want 2", k)
+	}
+	g, err := analyze.NewGraph(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels, wantK := g.ConnectedComponents()
+	if k != wantK {
+		t.Fatalf("kernel found %d components, analyze %d", k, wantK)
+	}
+	// Label partitions must coincide (up to renaming).
+	pairing := map[int]int{}
+	for v := range labels {
+		if mapped, ok := pairing[labels[v]]; ok {
+			if mapped != wantLabels[v] {
+				t.Fatalf("partition mismatch at vertex %d", v)
+			}
+		} else {
+			pairing[labels[v]] = wantLabels[v]
+		}
+	}
+}
+
+func TestBoolFromInt64DropsZeros(t *testing.T) {
+	m := sparse.MustCOO(2, 2, []sparse.Triple[int64]{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 0},
+	})
+	b := BoolFromInt64(m)
+	if b.NNZ() != 1 {
+		t.Errorf("nnz = %d, want 1", b.NNZ())
+	}
+}

@@ -1,0 +1,113 @@
+// Package parallel is the "parallel computer" substrate: balanced work
+// partitioning, a processor-pool runner, and the linear-scaling model used
+// to relate single-machine measurements to the paper's 41,472-core runs.
+//
+// The paper's generator needs nothing from a parallel machine beyond
+// "Np processors, each with an identifier p" and zero interprocessor
+// communication, so goroutines reproduce the algorithm exactly; only the
+// absolute rate differs from the supercomputer.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Range is a half-open interval [Lo, Hi) of work items.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of items in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Partition splits n items into np contiguous ranges whose sizes differ by
+// at most one — the "each processor selects nnz(B)/Np of the triples" rule
+// of Section V, generalized to non-divisible n. Processors beyond n receive
+// empty ranges.
+func Partition(n, np int) ([]Range, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parallel: negative item count %d", n)
+	}
+	if np < 1 {
+		return nil, fmt.Errorf("parallel: need at least one processor, got %d", np)
+	}
+	out := make([]Range, np)
+	base, extra := n/np, n%np
+	lo := 0
+	for p := 0; p < np; p++ {
+		size := base
+		if p < extra {
+			size++
+		}
+		out[p] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out, nil
+}
+
+// Run launches np goroutine "processors", invoking fn with each processor
+// id, and returns the joined errors after all complete. There is no shared
+// state and no communication between processors — matching the paper's
+// no-interprocessor-communication property — so fn must only touch
+// processor-local data.
+func Run(np int, fn func(p int) error) error {
+	if np < 1 {
+		return fmt.Errorf("parallel: need at least one processor, got %d", np)
+	}
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	wg.Add(np)
+	for p := 0; p < np; p++ {
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ScalingPoint is one measured or modeled point of Figure 3: the aggregate
+// edge-generation rate at a given core count.
+type ScalingPoint struct {
+	Cores        int
+	EdgesPerSec  float64
+	Extrapolated bool
+}
+
+// ScalingModel extrapolates a measured per-core rate linearly, which is
+// exact for a zero-communication algorithm: total rate = per-core rate ×
+// cores (Figure 3's straight line).
+type ScalingModel struct {
+	// PerCoreRate is the measured single-core edge generation rate.
+	PerCoreRate float64
+}
+
+// RateAt returns the modeled aggregate rate at the given core count.
+func (m ScalingModel) RateAt(cores int) float64 {
+	return m.PerCoreRate * float64(cores)
+}
+
+// CoresFor returns the core count needed to reach the target aggregate rate,
+// rounded up.
+func (m ScalingModel) CoresFor(targetRate float64) int {
+	if m.PerCoreRate <= 0 {
+		return 0
+	}
+	c := int(targetRate / m.PerCoreRate)
+	if float64(c)*m.PerCoreRate < targetRate {
+		c++
+	}
+	return c
+}
+
+// Series produces modeled scaling points at the supplied core counts.
+func (m ScalingModel) Series(cores []int) []ScalingPoint {
+	out := make([]ScalingPoint, len(cores))
+	for i, c := range cores {
+		out[i] = ScalingPoint{Cores: c, EdgesPerSec: m.RateAt(c), Extrapolated: true}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBalanced(t *testing.T) {
+	parts, err := Partition(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{parts[0].Len(), parts[1].Len(), parts[2].Len()}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Errorf("sizes = %v, want [4 3 3]", sizes)
+	}
+	// Contiguous and covering.
+	if parts[0].Lo != 0 || parts[2].Hi != 10 {
+		t.Error("partition does not cover [0,10)")
+	}
+	for p := 1; p < 3; p++ {
+		if parts[p].Lo != parts[p-1].Hi {
+			t.Error("partition has gaps")
+		}
+	}
+}
+
+func TestPartitionDivisible(t *testing.T) {
+	// The paper's case: Np divides nnz(B) → exactly equal parts.
+	parts, err := Partition(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, r := range parts {
+		if r.Len() != 3 {
+			t.Errorf("part %d size %d, want 3", p, r.Len())
+		}
+	}
+}
+
+func TestPartitionMoreWorkersThanItems(t *testing.T) {
+	parts, err := Partition(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, r := range parts {
+		if r.Len() > 0 {
+			nonEmpty++
+		}
+		if r.Len() > 1 {
+			t.Errorf("range %v too large", r)
+		}
+	}
+	if nonEmpty != 2 {
+		t.Errorf("%d non-empty ranges, want 2", nonEmpty)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(-1, 2); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Partition(5, 0); err == nil {
+		t.Error("zero processors accepted")
+	}
+}
+
+// Property: partitions always cover [0, n) contiguously with sizes within 1.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(nRaw, npRaw uint16) bool {
+		n := int(nRaw) % 1000
+		np := 1 + int(npRaw)%64
+		parts, err := Partition(n, np)
+		if err != nil || len(parts) != np {
+			return false
+		}
+		lo, minSz, maxSz := 0, n+1, -1
+		for _, r := range parts {
+			if r.Lo != lo || r.Len() < 0 {
+				return false
+			}
+			lo = r.Hi
+			if r.Len() < minSz {
+				minSz = r.Len()
+			}
+			if r.Len() > maxSz {
+				maxSz = r.Len()
+			}
+		}
+		return lo == n && maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunAllWorkersExecute(t *testing.T) {
+	var n atomic.Int64
+	seen := make([]atomic.Bool, 8)
+	err := Run(8, func(p int) error {
+		n.Add(1)
+		seen[p].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 8 {
+		t.Errorf("%d workers ran, want 8", n.Load())
+	}
+	for p := range seen {
+		if !seen[p].Load() {
+			t.Errorf("worker %d never ran", p)
+		}
+	}
+}
+
+func TestRunCollectsErrors(t *testing.T) {
+	sentinel := errors.New("worker 3 failed")
+	err := Run(5, func(p int) error {
+		if p == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunRejectsZeroWorkers(t *testing.T) {
+	if err := Run(0, func(int) error { return nil }); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestScalingModel(t *testing.T) {
+	m := ScalingModel{PerCoreRate: 2.5e7}
+	if got := m.RateAt(4); got != 1e8 {
+		t.Errorf("RateAt(4) = %v, want 1e8", got)
+	}
+	// The paper's headline: >1e12 edges/s needs 40,000 cores at 2.5e7/core.
+	if got := m.CoresFor(1e12); got != 40000 {
+		t.Errorf("CoresFor(1e12) = %d, want 40000", got)
+	}
+	// Rounding up.
+	if got := m.CoresFor(1e12 + 1); got != 40001 {
+		t.Errorf("CoresFor(1e12+1) = %d, want 40001", got)
+	}
+	if got := (ScalingModel{}).CoresFor(1e12); got != 0 {
+		t.Errorf("zero-rate CoresFor = %d, want 0", got)
+	}
+	series := m.Series([]int{1, 10, 100})
+	if len(series) != 3 || series[2].EdgesPerSec != 2.5e9 || !series[2].Extrapolated {
+		t.Errorf("series = %+v", series)
+	}
+}

@@ -1,0 +1,107 @@
+// Package plot renders degree distributions as ASCII log-log scatter plots —
+// the terminal rendition of the paper's Figures 4–7, whose axes run from
+// 10⁰ to 10¹² (and to 10³⁰ for Figure 7). Points use arbitrary-precision
+// coordinates so decetta-scale distributions plot directly.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+
+	"repro/internal/bigdeg"
+)
+
+// Config controls the plot geometry.
+type Config struct {
+	// Width and Height are the interior grid size in characters.
+	Width, Height int
+	// Marker is the glyph for data points (default '*').
+	Marker byte
+	// LineMarker is the glyph for the reference power-law line ('.').
+	LineMarker byte
+	// DrawPowerLaw overlays the n(d) = n(1)/d^α reference line.
+	DrawPowerLaw bool
+}
+
+// DefaultConfig returns the geometry used by the CLI (72×24 grid).
+func DefaultConfig() Config {
+	return Config{Width: 72, Height: 24, Marker: '*', LineMarker: '.', DrawPowerLaw: true}
+}
+
+// LogLog renders the distribution on log₁₀ axes: x = degree, y = count.
+func LogLog(d *bigdeg.Dist, cfg Config) (string, error) {
+	if cfg.Width < 8 || cfg.Height < 4 {
+		return "", fmt.Errorf("plot: grid %dx%d too small", cfg.Width, cfg.Height)
+	}
+	if cfg.Marker == 0 {
+		cfg.Marker = '*'
+	}
+	if cfg.LineMarker == 0 {
+		cfg.LineMarker = '.'
+	}
+	entries := d.Entries()
+	if len(entries) == 0 {
+		return "", fmt.Errorf("plot: empty distribution")
+	}
+	const ln10 = math.Ln10
+	maxX := bigdeg.Log(d.MaxDegree()) / ln10
+	var maxY float64
+	for _, e := range entries {
+		if y := bigdeg.Log(e.N) / ln10; y > maxY {
+			maxY = y
+		}
+	}
+	// Axis ranges start at 10⁰ and pad to the next decade.
+	xDecades := math.Max(1, math.Ceil(maxX))
+	yDecades := math.Max(1, math.Ceil(maxY))
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	place := func(x, y float64, glyph byte, weak bool) {
+		col := int(x / xDecades * float64(cfg.Width-1))
+		row := cfg.Height - 1 - int(y/yDecades*float64(cfg.Height-1))
+		if col < 0 || col >= cfg.Width || row < 0 || row >= cfg.Height {
+			return
+		}
+		if weak && grid[row][col] != ' ' {
+			return // data points win over the reference line
+		}
+		grid[row][col] = glyph
+	}
+
+	if cfg.DrawPowerLaw {
+		if alpha, err := d.Alpha(); err == nil {
+			logN1 := bigdeg.Log(d.CountAt(big.NewInt(1)))
+			for c := 0; c < cfg.Width*2; c++ {
+				x := float64(c) / float64(cfg.Width*2-1) * xDecades
+				y := (logN1 - alpha*x*ln10) / ln10
+				if y < 0 {
+					break
+				}
+				place(x, y, cfg.LineMarker, true)
+			}
+		}
+	}
+	for _, e := range entries {
+		x := bigdeg.Log(e.D) / ln10
+		y := bigdeg.Log(e.N) / ln10
+		place(x, y, cfg.Marker, false)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "n(d) up to 10^%d\n", int(yDecades))
+	for r := range grid {
+		b.WriteByte('|')
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", cfg.Width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " degree d: 10^0 .. 10^%d\n", int(xDecades))
+	return b.String(), nil
+}

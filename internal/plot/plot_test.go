@@ -1,0 +1,111 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bigdeg"
+	"repro/internal/core"
+	"repro/internal/star"
+)
+
+func fig1Dist() *bigdeg.Dist {
+	return bigdeg.FromInt64Map(map[int64]int64{1: 15, 3: 5, 5: 3, 15: 1})
+}
+
+func TestLogLogBasicShape(t *testing.T) {
+	out, err := LogLog(fig1Dist(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + height rows + axis + footer.
+	cfg := DefaultConfig()
+	if len(lines) != cfg.Height+3 {
+		t.Fatalf("plot has %d lines, want %d", len(lines), cfg.Height+3)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data markers plotted")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("no power-law reference line")
+	}
+	if !strings.Contains(lines[len(lines)-2], "---") {
+		t.Error("missing x axis")
+	}
+}
+
+func TestLogLogMonotoneDescent(t *testing.T) {
+	// For the exact 15/d law, markers descend left to right: the first
+	// marker column must sit above the last marker column.
+	out, err := LogLog(fig1Dist(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	firstCol, lastCol := 1<<30, -1
+	for r, line := range lines {
+		for c := 0; c < len(line); c++ {
+			if line[c] == '*' {
+				if c < firstCol {
+					firstCol, firstRow = c, r
+				}
+				if c > lastCol {
+					lastCol, lastRow = c, r
+				}
+			}
+		}
+	}
+	if firstRow < 0 || lastRow < 0 {
+		t.Fatal("markers not found")
+	}
+	if firstRow >= lastRow {
+		t.Errorf("power law not descending: first marker row %d, last %d", firstRow, lastRow)
+	}
+}
+
+func TestLogLogDecettaScale(t *testing.T) {
+	pts := []int{3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641}
+	d, err := core.FromPoints(pts, star.LoopLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := d.DegreeDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := LogLog(dist, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axes must reach the 10²⁵+ decades.
+	if !strings.Contains(out, "10^2") {
+		t.Errorf("axis labels missing decades:\n%s", out)
+	}
+}
+
+func TestLogLogValidation(t *testing.T) {
+	if _, err := LogLog(bigdeg.New(), DefaultConfig()); err == nil {
+		t.Error("empty distribution accepted")
+	}
+	small := DefaultConfig()
+	small.Width = 2
+	if _, err := LogLog(fig1Dist(), small); err == nil {
+		t.Error("tiny grid accepted")
+	}
+}
+
+func TestLogLogNoPowerLawLine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DrawPowerLaw = false
+	out, err := LogLog(fig1Dist(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|") && strings.Contains(line, ".") {
+			t.Fatalf("reference line drawn despite DrawPowerLaw=false: %q", line)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package rmat
+
+import "fmt"
+
+// TrialResult records one iteration of the trial-and-error design loop.
+type TrialResult struct {
+	Params      Params
+	Measured    Measured
+	TargetError float64
+}
+
+// TrialAndError runs the iterative workflow the paper's introduction
+// describes for random generators: pick parameters, generate the graph,
+// measure the realized unique-edge count, adjust the edge factor, repeat
+// until within relTol of the target or maxTrials is exhausted. It returns
+// every trial so callers can report the cost of the loop — the designer in
+// internal/core replaces all of this with a closed-form computation.
+func TrialAndError(base Params, targetUniqueEdges int64, relTol float64, maxTrials, np int) ([]TrialResult, error) {
+	if targetUniqueEdges < 1 {
+		return nil, fmt.Errorf("rmat: target edges %d < 1", targetUniqueEdges)
+	}
+	if relTol <= 0 {
+		return nil, fmt.Errorf("rmat: tolerance %v must be positive", relTol)
+	}
+	if maxTrials < 1 {
+		return nil, fmt.Errorf("rmat: maxTrials %d < 1", maxTrials)
+	}
+	p := base
+	var trials []TrialResult
+	for trial := 0; trial < maxTrials; trial++ {
+		p.Seed = base.Seed + int64(trial)
+		edges, err := Generate(p, np)
+		if err != nil {
+			return trials, err
+		}
+		m := Measure(edges, p.NumVertices())
+		errFrac := relErr(m.UniqueEdges, targetUniqueEdges)
+		trials = append(trials, TrialResult{Params: p, Measured: m, TargetError: errFrac})
+		if errFrac <= relTol {
+			return trials, nil
+		}
+		// Proportional correction: unique edges scale sublinearly with
+		// samples because of duplicates, so re-aim the edge factor by the
+		// measured yield.
+		yield := float64(m.UniqueEdges) / float64(p.NumSampledEdges())
+		if yield <= 0 {
+			yield = 1
+		}
+		next := int(float64(targetUniqueEdges)/yield) >> uint(p.Scale)
+		if next < 1 {
+			next = 1
+		}
+		if next == p.EdgeFactor {
+			if m.UniqueEdges < targetUniqueEdges {
+				next++
+			} else if next > 1 {
+				next--
+			}
+		}
+		p.EdgeFactor = next
+	}
+	return trials, fmt.Errorf("rmat: target not reached within %d trials", maxTrials)
+}
+
+func relErr(got, want int64) float64 {
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(want)
+}

@@ -1,0 +1,171 @@
+// Package search is the "design" front end the paper motivates: given a
+// target edge count, find Kronecker star designs whose exact edge counts
+// land within tolerance — replacing the generate-and-measure loop of random
+// generators with a closed-form search. The search runs in log space with
+// branch-and-bound pruning, then verifies every hit with exact big-integer
+// arithmetic.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"repro/internal/bigdeg"
+	"repro/internal/core"
+	"repro/internal/star"
+)
+
+// Options controls the design search.
+type Options struct {
+	// Candidates are the allowed m̂ values (must each be ≥ 2).
+	Candidates []int
+	// Loop is the loop mode applied to every factor.
+	Loop star.LoopMode
+	// MinFactors and MaxFactors bound the design size. MinFactors ≥ 1.
+	MinFactors, MaxFactors int
+	// AllowRepeats permits reusing a candidate m̂; note repeated values make
+	// degree products collide, so the result is power-law only under
+	// binning (Section III's closing caveat).
+	AllowRepeats bool
+	// Tol is the admissible relative error on the edge count, e.g. 0.05.
+	Tol float64
+	// MaxResults caps the number of designs returned (best first).
+	MaxResults int
+}
+
+// Result is one design within tolerance of the target.
+type Result struct {
+	Points []int
+	Edges  *big.Int
+	RelErr float64
+}
+
+// EdgeTarget returns up to MaxResults designs whose exact edge counts lie
+// within Tol of target, best first.
+func EdgeTarget(target *big.Int, opt Options) ([]Result, error) {
+	if target == nil || target.Sign() <= 0 {
+		return nil, fmt.Errorf("search: target must be positive")
+	}
+	if len(opt.Candidates) == 0 {
+		return nil, fmt.Errorf("search: no candidate m̂ values")
+	}
+	for _, c := range opt.Candidates {
+		if c < 2 {
+			return nil, fmt.Errorf("search: candidate m̂ = %d < 2", c)
+		}
+	}
+	if opt.MinFactors < 1 || opt.MaxFactors < opt.MinFactors {
+		return nil, fmt.Errorf("search: factor bounds [%d, %d] invalid", opt.MinFactors, opt.MaxFactors)
+	}
+	if opt.Tol <= 0 {
+		return nil, fmt.Errorf("search: tolerance must be positive")
+	}
+	if opt.MaxResults < 1 {
+		opt.MaxResults = 10
+	}
+
+	cands := append([]int(nil), opt.Candidates...)
+	sort.Ints(cands)
+	logs := make([]float64, len(cands))
+	for i, c := range cands {
+		logs[i] = math.Log(factorNNZ(c, opt.Loop))
+	}
+	// The factor product gives nnz(A); looped designs lose one edge to
+	// self-loop removal, so the raw product the DFS assembles should match
+	// target+1 there. Exact verification below settles borderline hits.
+	rawTarget := target
+	if opt.Loop != star.LoopNone {
+		rawTarget = new(big.Int).Add(target, big.NewInt(1))
+	}
+	targetLog := bigdeg.Log(rawTarget)
+	tolLog := math.Log1p(opt.Tol) + 1e-12
+	maxLog := logs[len(logs)-1]
+
+	var results []Result
+	seen := make(map[string]bool)
+	var points []int
+
+	var dfs func(startIdx int, curLog float64)
+	dfs = func(startIdx int, curLog float64) {
+		if len(points) >= opt.MinFactors && math.Abs(curLog-targetLog) <= tolLog {
+			record(&results, seen, points, target, opt)
+		}
+		if len(points) == opt.MaxFactors {
+			return
+		}
+		remaining := opt.MaxFactors - len(points)
+		// Prune: even all-largest factors cannot reach the target.
+		if curLog+float64(remaining)*maxLog < targetLog-tolLog {
+			return
+		}
+		for i := startIdx; i < len(cands); i++ {
+			nextLog := curLog + logs[i]
+			// Adding factors only grows the product; overshoot is terminal.
+			if nextLog > targetLog+tolLog {
+				break
+			}
+			points = append(points, cands[i])
+			next := i
+			if !opt.AllowRepeats {
+				next = i + 1
+			}
+			dfs(next, nextLog)
+			points = points[:len(points)-1]
+		}
+		// A final factor may overshoot into tolerance; try the smallest
+		// overshooting candidate too (the loop above breaks before it).
+		for i := startIdx; i < len(cands); i++ {
+			nextLog := curLog + logs[i]
+			if nextLog <= targetLog+tolLog {
+				continue
+			}
+			if nextLog-targetLog <= tolLog && len(points)+1 >= opt.MinFactors {
+				points = append(points, cands[i])
+				record(&results, seen, points, target, opt)
+				points = points[:len(points)-1]
+			}
+			break
+		}
+	}
+	dfs(0, 0)
+
+	sort.Slice(results, func(i, j int) bool { return results[i].RelErr < results[j].RelErr })
+	if len(results) > opt.MaxResults {
+		results = results[:opt.MaxResults]
+	}
+	return results, nil
+}
+
+// record verifies a candidate factor set exactly and appends it if within
+// tolerance and unseen.
+func record(results *[]Result, seen map[string]bool, points []int, target *big.Int, opt Options) {
+	key := fmt.Sprint(points)
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	d, err := core.FromPoints(points, opt.Loop)
+	if err != nil {
+		return
+	}
+	edges := d.NumEdges()
+	diff := new(big.Int).Sub(edges, target)
+	diff.Abs(diff)
+	rel, _ := new(big.Rat).SetFrac(diff, target).Float64()
+	if rel > opt.Tol {
+		return
+	}
+	cp := append([]int(nil), points...)
+	*results = append(*results, Result{Points: cp, Edges: edges, RelErr: rel})
+}
+
+// factorNNZ returns nnz(Aₖ) for a star with m̂ points under the loop mode.
+func factorNNZ(points int, loop star.LoopMode) float64 {
+	n := float64(2 * points)
+	if loop != star.LoopNone {
+		n++
+	}
+	return n
+}

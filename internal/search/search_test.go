@@ -1,0 +1,193 @@
+package search
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/star"
+)
+
+func opts() Options {
+	return Options{
+		Candidates: []int{3, 4, 5, 7, 9, 11, 16, 25, 49, 81, 121, 256, 625},
+		Loop:       star.LoopNone,
+		MinFactors: 1,
+		MaxFactors: 8,
+		Tol:        0.05,
+		MaxResults: 10,
+	}
+}
+
+func TestFindsExactDesign(t *testing.T) {
+	// Target exactly the trillion no-loop graph's edge count: the search
+	// must rediscover {3,4,5,9,16,25,81,256} (or an equivalent) exactly.
+	target, _ := new(big.Int).SetString("1146617856000", 10)
+	o := opts()
+	o.Tol = 0.001
+	res, err := EdgeTarget(target, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no designs found")
+	}
+	if res[0].RelErr != 0 {
+		t.Errorf("best relative error %v, want exact 0", res[0].RelErr)
+	}
+	if res[0].Edges.Cmp(target) != 0 {
+		t.Errorf("best edges %s, want %s", res[0].Edges, target)
+	}
+}
+
+func TestResultsWithinTolerance(t *testing.T) {
+	target := big.NewInt(10_000_000)
+	res, err := EdgeTarget(target, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no designs within 5% of 1e7 edges")
+	}
+	for _, r := range res {
+		if r.RelErr > 0.05 {
+			t.Errorf("design %v has error %v > 5%%", r.Points, r.RelErr)
+		}
+		// Re-verify the edge count through the designer.
+		d, err := core.FromPoints(r.Points, star.LoopNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumEdges().Cmp(r.Edges) != 0 {
+			t.Errorf("design %v reported edges %s, designer says %s", r.Points, r.Edges, d.NumEdges())
+		}
+	}
+	// Sorted best-first.
+	for i := 1; i < len(res); i++ {
+		if res[i-1].RelErr > res[i].RelErr {
+			t.Error("results not sorted by error")
+		}
+	}
+}
+
+func TestExtremeScaleTarget(t *testing.T) {
+	// 10^30 edges: the search must stay fast (log-space pruning) and find
+	// hits from a rich candidate pool with repeats allowed.
+	target := new(big.Int).Exp(big.NewInt(10), big.NewInt(30), nil)
+	o := opts()
+	o.Loop = star.LoopLeaf
+	o.AllowRepeats = true
+	o.MaxFactors = 16
+	o.Tol = 0.02
+	res, err := EdgeTarget(target, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no designs within 2% of 1e30 edges")
+	}
+	for _, r := range res {
+		if r.RelErr > 0.02 {
+			t.Errorf("%v: error %v", r.Points, r.RelErr)
+		}
+	}
+}
+
+func TestLoopModesCountLoopEdge(t *testing.T) {
+	// For hub loops, factor nnz is 2m̂+1 and the final count subtracts 1;
+	// searching for that exact value must succeed with zero error.
+	d, err := core.FromPoints([]int{3, 4, 5}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts()
+	o.Loop = star.LoopHub
+	o.Tol = 0.0001
+	res, err := EdgeTarget(d.NumEdges(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.RelErr == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exact hub-loop design not found; results %v", res)
+	}
+}
+
+func TestNoRepeatsByDefault(t *testing.T) {
+	o := opts()
+	o.Candidates = []int{3}
+	o.MaxFactors = 4
+	o.Tol = 0.5
+	// Without repeats only {3} is reachable: 6 edges.
+	res, err := EdgeTarget(big.NewInt(6), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Points) != 1 {
+		t.Errorf("results = %v, want single {3}", res)
+	}
+	// 36 edges needs {3,3}: only reachable with repeats.
+	res36, err := EdgeTarget(big.NewInt(36), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res36) != 0 {
+		t.Errorf("found %v without repeats", res36)
+	}
+	o.AllowRepeats = true
+	res36, err = EdgeTarget(big.NewInt(36), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res36) == 0 || res36[0].Edges.Int64() != 36 {
+		t.Errorf("repeat search results = %v", res36)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	o := opts()
+	if _, err := EdgeTarget(big.NewInt(0), o); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := EdgeTarget(nil, o); err == nil {
+		t.Error("nil target accepted")
+	}
+	bad := o
+	bad.Candidates = nil
+	if _, err := EdgeTarget(big.NewInt(10), bad); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	bad2 := o
+	bad2.Candidates = []int{1}
+	if _, err := EdgeTarget(big.NewInt(10), bad2); err == nil {
+		t.Error("m̂ = 1 candidate accepted")
+	}
+	bad3 := o
+	bad3.MaxFactors = 0
+	if _, err := EdgeTarget(big.NewInt(10), bad3); err == nil {
+		t.Error("bad factor bounds accepted")
+	}
+	bad4 := o
+	bad4.Tol = 0
+	if _, err := EdgeTarget(big.NewInt(10), bad4); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+}
+
+func TestMaxResultsCap(t *testing.T) {
+	o := opts()
+	o.Tol = 0.5 // generous: many designs qualify
+	o.MaxResults = 3
+	res, err := EdgeTarget(big.NewInt(100000), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) > 3 {
+		t.Errorf("returned %d results, cap 3", len(res))
+	}
+}

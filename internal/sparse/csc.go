@@ -1,0 +1,103 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// CSC is a compressed-sparse-column matrix — the storage Section V's
+// generator assumes when it slices B's triples by column and re-bases each
+// worker's band ("if the underlying sparse storage ... is compressed sparse
+// columns"). Column j's entries are RowIdx[ColPtr[j]:ColPtr[j+1]] with
+// matching values in Val, sorted by row within each column.
+type CSC[T any] struct {
+	NumRows, NumCols int
+	ColPtr           []int
+	RowIdx           []int
+	Val              []T
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC[T]) NNZ() int { return len(m.RowIdx) }
+
+// ToCSC converts a COO matrix to canonical CSC form.
+func (m *COO[T]) ToCSC(sr semiring.Semiring[T]) *CSC[T] {
+	// Reuse the CSR builder on the transpose: CSC(A) has the same layout
+	// as CSR(Aᵀ) with roles of rows and columns swapped.
+	t := m.Transpose().ToCSR(sr)
+	return &CSC[T]{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		ColPtr:  t.RowPtr,
+		RowIdx:  t.ColIdx,
+		Val:     t.Val,
+	}
+}
+
+// ToCOO converts back to coordinate form (canonical, column-major order).
+func (m *CSC[T]) ToCOO() *COO[T] {
+	tr := make([]Triple[T], 0, m.NNZ())
+	for j := 0; j < m.NumCols; j++ {
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			tr = append(tr, Triple[T]{Row: m.RowIdx[k], Col: j, Val: m.Val[k]})
+		}
+	}
+	return &COO[T]{NumRows: m.NumRows, NumCols: m.NumCols, Tr: tr}
+}
+
+// Col returns column j's row indices and values as shared sub-slices.
+func (m *CSC[T]) Col(j int) (rows []int, vals []T) {
+	return m.RowIdx[m.ColPtr[j]:m.ColPtr[j+1]], m.Val[m.ColPtr[j]:m.ColPtr[j+1]]
+}
+
+// ColNNZ returns the number of stored entries in column j.
+func (m *CSC[T]) ColNNZ(j int) int { return m.ColPtr[j+1] - m.ColPtr[j] }
+
+// ExtractColumns returns the sub-matrix of columns [lo, hi) with column
+// indices re-based to 0 — exactly the paper's "minimum value of jp is
+// subtracted" step that builds each worker's Bp.
+func (m *CSC[T]) ExtractColumns(lo, hi int) (*CSC[T], error) {
+	if lo < 0 || hi > m.NumCols || lo > hi {
+		return nil, fmt.Errorf("sparse: column range [%d, %d) outside [0, %d)", lo, hi, m.NumCols)
+	}
+	base := m.ColPtr[lo]
+	out := &CSC[T]{
+		NumRows: m.NumRows,
+		NumCols: hi - lo,
+		ColPtr:  make([]int, hi-lo+1),
+		RowIdx:  append([]int(nil), m.RowIdx[base:m.ColPtr[hi]]...),
+		Val:     append([]T(nil), m.Val[base:m.ColPtr[hi]]...),
+	}
+	for j := lo; j <= hi; j++ {
+		out.ColPtr[j-lo] = m.ColPtr[j] - base
+	}
+	return out, nil
+}
+
+// Validate checks the structural invariants of the CSC layout.
+func (m *CSC[T]) Validate() error {
+	if len(m.ColPtr) != m.NumCols+1 {
+		return fmt.Errorf("sparse: ColPtr length %d, want %d", len(m.ColPtr), m.NumCols+1)
+	}
+	if m.ColPtr[0] != 0 {
+		return fmt.Errorf("sparse: ColPtr[0] = %d, want 0", m.ColPtr[0])
+	}
+	if m.ColPtr[m.NumCols] != len(m.RowIdx) || len(m.RowIdx) != len(m.Val) {
+		return fmt.Errorf("sparse: storage lengths inconsistent")
+	}
+	for j := 0; j < m.NumCols; j++ {
+		if m.ColPtr[j] > m.ColPtr[j+1] {
+			return fmt.Errorf("sparse: ColPtr not monotone at column %d", j)
+		}
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			if m.RowIdx[k] < 0 || m.RowIdx[k] >= m.NumRows {
+				return fmt.Errorf("sparse: row %d out of bounds in column %d", m.RowIdx[k], j)
+			}
+			if k > m.ColPtr[j] && m.RowIdx[k-1] >= m.RowIdx[k] {
+				return fmt.Errorf("sparse: rows not strictly increasing in column %d", j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCSCRoundTrip(t *testing.T) {
+	m := MustCOO(3, 4, []Triple[int64]{
+		tri(2, 1, 5), tri(0, 3, 1), tri(0, 0, 2), tri(1, 1, 7),
+	})
+	c := m.ToCSC(srI)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(m, c.ToCOO(), srI) {
+		t.Error("COO→CSC→COO round trip changed matrix")
+	}
+}
+
+func TestCSCColumnAccess(t *testing.T) {
+	m := MustCOO(4, 3, []Triple[int64]{
+		tri(3, 1, 9), tri(0, 1, 3), tri(2, 1, 5),
+	}).ToCSC(srI)
+	rows, vals := m.Col(1)
+	if len(rows) != 3 || rows[0] != 0 || rows[1] != 2 || rows[2] != 3 {
+		t.Fatalf("col 1 rows = %v, want [0 2 3]", rows)
+	}
+	if vals[0] != 3 || vals[1] != 5 || vals[2] != 9 {
+		t.Fatalf("col 1 vals = %v", vals)
+	}
+	if m.ColNNZ(0) != 0 || m.ColNNZ(1) != 3 || m.ColNNZ(2) != 0 {
+		t.Error("ColNNZ wrong")
+	}
+}
+
+func TestCSCExtractColumns(t *testing.T) {
+	m := FromDense([][]int64{
+		{1, 0, 2, 0},
+		{0, 3, 0, 4},
+	}, srI).ToCSC(srI)
+	sub, err := m.ExtractColumns(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int64{
+		{0, 2},
+		{3, 0},
+	}, srI)
+	if !Equal(sub.ToCOO(), want, srI) {
+		t.Errorf("extracted = %v, want %v", sub.ToCOO(), want)
+	}
+	// Empty range is legal.
+	empty, err := m.ExtractColumns(2, 2)
+	if err != nil || empty.NumCols != 0 || empty.NNZ() != 0 {
+		t.Errorf("empty extraction = %v, %v", empty, err)
+	}
+	if _, err := m.ExtractColumns(-1, 2); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := m.ExtractColumns(0, 9); err == nil {
+		t.Error("hi beyond columns accepted")
+	}
+	if _, err := m.ExtractColumns(3, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+// Property: CSC and CSR views agree at every position for random matrices.
+func TestQuickCSCAgreesWithCSR(t *testing.T) {
+	f := func(seed int64) bool {
+		r, c := dims(seed)
+		m := randomCOO(seed+77, r, c)
+		csr := m.ToCSR(srI)
+		csc := m.ToCSC(srI)
+		if csc.Validate() != nil {
+			return false
+		}
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				want := csr.At(i, j, srI)
+				got := int64(0)
+				rows, vals := csc.Col(j)
+				for k, ri := range rows {
+					if ri == i {
+						got = vals[k]
+					}
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The generator's column-band distribution in CSC terms: extracting each
+// band and re-assembling reproduces the matrix.
+func TestCSCBandReassembly(t *testing.T) {
+	m := randomCOO(99, 6, 8)
+	csc := m.ToCSC(srI)
+	var tr []Triple[int64]
+	for lo := 0; lo < 8; lo += 3 {
+		hi := lo + 3
+		if hi > 8 {
+			hi = 8
+		}
+		band, err := csc.ExtractColumns(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range band.ToCOO().Tr {
+			tr = append(tr, tri(e.Row, e.Col+lo, e.Val))
+		}
+	}
+	back := MustCOO(6, 8, tr)
+	if !Equal(m, back, srI) {
+		t.Error("band reassembly changed matrix")
+	}
+}

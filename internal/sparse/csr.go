@@ -1,0 +1,139 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// CSR is a compressed-sparse-row matrix: row i's entries are
+// ColIdx[RowPtr[i]:RowPtr[i+1]] with matching values in Val. Entries within a
+// row are sorted by column and deduplicated when constructed through ToCSR.
+type CSR[T any] struct {
+	NumRows, NumCols int
+	RowPtr           []int
+	ColIdx           []int
+	Val              []T
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR[T]) NNZ() int { return len(m.ColIdx) }
+
+// ToCSR converts a COO matrix to canonical CSR form (per-row sorted columns,
+// duplicates combined with sr.Add, explicit zeros dropped).
+func (m *COO[T]) ToCSR(sr semiring.Semiring[T]) *CSR[T] {
+	c := m.Dedupe(sr)
+	out := &CSR[T]{
+		NumRows: c.NumRows,
+		NumCols: c.NumCols,
+		RowPtr:  make([]int, c.NumRows+1),
+		ColIdx:  make([]int, 0, len(c.Tr)),
+		Val:     make([]T, 0, len(c.Tr)),
+	}
+	for _, t := range c.Tr {
+		out.RowPtr[t.Row+1]++
+	}
+	for i := 0; i < c.NumRows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	for _, t := range c.Tr {
+		out.ColIdx = append(out.ColIdx, t.Col)
+		out.Val = append(out.Val, t.Val)
+	}
+	return out
+}
+
+// ToCOO converts back to coordinate form (already canonical).
+func (m *CSR[T]) ToCOO() *COO[T] {
+	tr := make([]Triple[T], 0, m.NNZ())
+	for i := 0; i < m.NumRows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			tr = append(tr, Triple[T]{Row: i, Col: m.ColIdx[k], Val: m.Val[k]})
+		}
+	}
+	return &COO[T]{NumRows: m.NumRows, NumCols: m.NumCols, Tr: tr}
+}
+
+// Row returns the column indices and values of row i as sub-slices of the
+// matrix storage; callers must not modify them.
+func (m *CSR[T]) Row(i int) (cols []int, vals []T) {
+	return m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]], m.Val[m.RowPtr[i]:m.RowPtr[i+1]]
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR[T]) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// At returns the value at (i, j) or sr.Zero, via binary search within row i.
+func (m *CSR[T]) At(i, j int, sr semiring.Semiring[T]) T {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case m.ColIdx[mid] < j:
+			lo = mid + 1
+		case m.ColIdx[mid] > j:
+			hi = mid
+		default:
+			return m.Val[mid]
+		}
+	}
+	return sr.Zero
+}
+
+// Transpose returns mᵀ in CSR form using a counting pass (O(nnz + rows + cols)).
+func (m *CSR[T]) Transpose() *CSR[T] {
+	out := &CSR[T]{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int, m.NumCols+1),
+		ColIdx:  make([]int, m.NNZ()),
+		Val:     make([]T, m.NNZ()),
+	}
+	for _, j := range m.ColIdx {
+		out.RowPtr[j+1]++
+	}
+	for j := 0; j < m.NumCols; j++ {
+		out.RowPtr[j+1] += out.RowPtr[j]
+	}
+	next := make([]int, m.NumCols)
+	copy(next, out.RowPtr[:m.NumCols])
+	for i := 0; i < m.NumRows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			p := next[j]
+			next[j]++
+			out.ColIdx[p] = i
+			out.Val[p] = m.Val[k]
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants (monotone row pointers, in-bounds
+// sorted column indices) and returns a descriptive error on violation.
+func (m *CSR[T]) Validate() error {
+	if len(m.RowPtr) != m.NumRows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.NumRows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	if m.RowPtr[m.NumRows] != len(m.ColIdx) || len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("sparse: storage lengths inconsistent: rowptr end %d, colidx %d, val %d",
+			m.RowPtr[m.NumRows], len(m.ColIdx), len(m.Val))
+	}
+	for i := 0; i < m.NumRows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] < 0 || m.ColIdx[k] >= m.NumCols {
+				return fmt.Errorf("sparse: column %d out of bounds in row %d", m.ColIdx[k], i)
+			}
+			if k > m.RowPtr[i] && m.ColIdx[k-1] >= m.ColIdx[k] {
+				return fmt.Errorf("sparse: columns not strictly increasing in row %d", i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package sparse
+
+import (
+	"testing"
+)
+
+func TestToCSRCanonical(t *testing.T) {
+	m := MustCOO(3, 4, []Triple[int64]{
+		tri(2, 1, 5), tri(0, 3, 1), tri(0, 0, 2), tri(2, 1, -1), tri(1, 2, 0),
+	})
+	c := m.ToCSR(srI)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 3 { // (0,0)=2 (0,3)=1 (2,1)=4; explicit zero dropped
+		t.Fatalf("nnz = %d, want 3", c.NNZ())
+	}
+	if got := c.At(2, 1, srI); got != 4 {
+		t.Errorf("At(2,1) = %d, want 4 (duplicates summed)", got)
+	}
+	if got := c.At(1, 2, srI); got != 0 {
+		t.Errorf("At(1,2) = %d, want 0 (explicit zero dropped)", got)
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	m := MustCOO(4, 4, []Triple[int64]{
+		tri(3, 3, 1), tri(0, 1, 2), tri(2, 0, 3), tri(2, 2, 4),
+	})
+	if !Equal(m, m.ToCSR(srI).ToCOO(), srI) {
+		t.Error("COO→CSR→COO round trip changed matrix")
+	}
+}
+
+func TestCSRRowAccess(t *testing.T) {
+	m := MustCOO(3, 5, []Triple[int64]{
+		tri(1, 4, 7), tri(1, 0, 3), tri(1, 2, 5),
+	}).ToCSR(srI)
+	cols, vals := m.Row(1)
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 2 || cols[2] != 4 {
+		t.Fatalf("row 1 cols = %v, want [0 2 4]", cols)
+	}
+	if vals[0] != 3 || vals[1] != 5 || vals[2] != 7 {
+		t.Fatalf("row 1 vals = %v, want [3 5 7]", vals)
+	}
+	if m.RowNNZ(0) != 0 || m.RowNNZ(1) != 3 || m.RowNNZ(2) != 0 {
+		t.Error("RowNNZ wrong")
+	}
+}
+
+func TestCSRAtBinarySearch(t *testing.T) {
+	tr := make([]Triple[int64], 0, 50)
+	for j := 0; j < 100; j += 2 {
+		tr = append(tr, tri(0, j, int64(j+1)))
+	}
+	m := MustCOO(1, 100, tr).ToCSR(srI)
+	for j := 0; j < 100; j++ {
+		want := int64(0)
+		if j%2 == 0 {
+			want = int64(j + 1)
+		}
+		if got := m.At(0, j, srI); got != want {
+			t.Fatalf("At(0,%d) = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	m := MustCOO(3, 2, []Triple[int64]{
+		tri(0, 1, 1), tri(2, 0, 2), tri(1, 1, 3),
+	}).ToCSR(srI)
+	mt := m.Transpose()
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mt.NumRows != 2 || mt.NumCols != 3 {
+		t.Fatalf("transpose dims %dx%d, want 2x3", mt.NumRows, mt.NumCols)
+	}
+	if !Equal(mt.ToCOO(), m.ToCOO().Transpose(), srI) {
+		t.Error("CSR transpose disagrees with COO transpose")
+	}
+	if !Equal(mt.Transpose().ToCOO(), m.ToCOO(), srI) {
+		t.Error("double CSR transpose is not identity")
+	}
+}
+
+func TestCSRValidateCatchesCorruption(t *testing.T) {
+	good := MustCOO(2, 2, []Triple[int64]{tri(0, 0, 1), tri(1, 1, 1)}).ToCSR(srI)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid CSR rejected: %v", err)
+	}
+
+	bad := MustCOO(2, 2, []Triple[int64]{tri(0, 0, 1), tri(1, 1, 1)}).ToCSR(srI)
+	bad.RowPtr[0] = 1
+	if bad.Validate() == nil {
+		t.Error("RowPtr[0] != 0 not caught")
+	}
+
+	bad2 := MustCOO(2, 2, []Triple[int64]{tri(0, 0, 1), tri(0, 1, 1)}).ToCSR(srI)
+	bad2.ColIdx[0], bad2.ColIdx[1] = 1, 0 // unsorted
+	if bad2.Validate() == nil {
+		t.Error("unsorted columns not caught")
+	}
+
+	bad3 := MustCOO(2, 2, []Triple[int64]{tri(0, 0, 1)}).ToCSR(srI)
+	bad3.ColIdx[0] = 5
+	if bad3.Validate() == nil {
+		t.Error("out-of-bounds column not caught")
+	}
+
+	bad4 := MustCOO(2, 2, []Triple[int64]{tri(0, 0, 1)}).ToCSR(srI)
+	bad4.RowPtr = bad4.RowPtr[:2]
+	if bad4.Validate() == nil {
+		t.Error("short RowPtr not caught")
+	}
+}
+
+func TestCSREmptyMatrix(t *testing.T) {
+	m := MustCOO[int64](0, 0, nil).ToCSR(srI)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 0 {
+		t.Error("empty matrix has entries")
+	}
+	back := m.ToCOO()
+	if back.NumRows != 0 || back.NNZ() != 0 {
+		t.Error("empty round trip wrong")
+	}
+}

@@ -1,0 +1,162 @@
+package sparse
+
+import (
+	"testing"
+)
+
+func TestEWiseAdd(t *testing.T) {
+	a := FromDense([][]int64{{1, 0}, {2, 3}}, srI)
+	b := FromDense([][]int64{{4, 5}, {0, -3}}, srI)
+	c, err := EWiseAdd(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int64{{5, 5}, {2, 0}}, srI)
+	if !Equal(c, want, srI) {
+		t.Fatalf("EWiseAdd = %v, want %v", c, want)
+	}
+}
+
+func TestEWiseAddDimMismatch(t *testing.T) {
+	a := FromDense([][]int64{{1}}, srI)
+	b := FromDense([][]int64{{1, 2}}, srI)
+	if _, err := EWiseAdd(a, b, srI); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := EWiseMult(a, b, srI); err == nil {
+		t.Error("dimension mismatch accepted by EWiseMult")
+	}
+}
+
+func TestEWiseMultIntersection(t *testing.T) {
+	a := FromDense([][]int64{{2, 3, 0}, {0, 4, 5}}, srI)
+	b := FromDense([][]int64{{7, 0, 1}, {0, 2, 0}}, srI)
+	c, err := EWiseMult(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int64{{14, 0, 0}, {0, 8, 0}}, srI)
+	if !Equal(c, want, srI) {
+		t.Fatalf("EWiseMult = %v, want %v", c, want)
+	}
+	// Intersection nnz never exceeds either input.
+	if c.NNZ() > a.Dedupe(srI).NNZ() || c.NNZ() > b.Dedupe(srI).NNZ() {
+		t.Error("intersection larger than an operand")
+	}
+}
+
+func TestEWiseMultWithDuplicates(t *testing.T) {
+	// Duplicates must be combined before intersecting.
+	a := MustCOO(1, 1, []Triple[int64]{tri(0, 0, 1), tri(0, 0, 1)})
+	b := MustCOO(1, 1, []Triple[int64]{tri(0, 0, 3)})
+	c, err := EWiseMult(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0, 0, srI); got != 6 {
+		t.Errorf("EWiseMult with duplicates = %d, want 6", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := FromDense([][]int64{{1, -2}, {3, 0}}, srI)
+	doubled := Apply(m, srI, func(v int64) int64 { return 2 * v })
+	want := FromDense([][]int64{{2, -4}, {6, 0}}, srI)
+	if !Equal(doubled, want, srI) {
+		t.Error("Apply double wrong")
+	}
+	// Mapping everything to zero empties the matrix.
+	zeroed := Apply(m, srI, func(int64) int64 { return 0 })
+	if zeroed.NNZ() != 0 {
+		t.Error("Apply kept zero entries")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	m := FromDense([][]int64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	}, srI)
+	sub, err := Extract(m, []int{2, 0}, []int{1}, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int64{{8}, {2}}, srI)
+	if !Equal(sub, want, srI) {
+		t.Fatalf("Extract = %v, want %v", sub, want)
+	}
+	// Repeated indices duplicate rows.
+	dup, err := Extract(m, []int{1, 1}, []int{0, 2}, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDup := FromDense([][]int64{{4, 6}, {4, 6}}, srI)
+	if !Equal(dup, wantDup, srI) {
+		t.Fatalf("Extract with repeats = %v, want %v", dup, wantDup)
+	}
+	if _, err := Extract(m, []int{9}, []int{0}, srI); err == nil {
+		t.Error("row index out of bounds accepted")
+	}
+	if _, err := Extract(m, []int{0}, []int{-1}, srI); err == nil {
+		t.Error("col index out of bounds accepted")
+	}
+}
+
+func TestReduceRowsCols(t *testing.T) {
+	m := FromDense([][]int64{{1, 2, 0}, {0, 0, 3}}, srI)
+	rows := ReduceRows(m, srI)
+	if rows[0] != 3 || rows[1] != 3 {
+		t.Errorf("ReduceRows = %v, want [3 3]", rows)
+	}
+	cols := ReduceCols(m, srI)
+	if cols[0] != 1 || cols[1] != 2 || cols[2] != 3 {
+		t.Errorf("ReduceCols = %v, want [1 2 3]", cols)
+	}
+	if got := ReduceAll(m, srI); got != 6 {
+		t.Errorf("ReduceAll = %d, want 6", got)
+	}
+}
+
+func TestRowNNZCountsAndHistogram(t *testing.T) {
+	// Star graph with 3 leaves: hub degree 3, leaves degree 1.
+	m := FromDense([][]int64{
+		{0, 1, 1, 1},
+		{1, 0, 0, 0},
+		{1, 0, 0, 0},
+		{1, 0, 0, 0},
+	}, srI)
+	counts := RowNNZCounts(m, srI)
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Errorf("RowNNZCounts = %v", counts)
+	}
+	h := DegreeHistogram(m, srI)
+	if h[1] != 3 || h[3] != 1 || len(h) != 2 {
+		t.Errorf("DegreeHistogram = %v, want map[1:3 3:1]", h)
+	}
+}
+
+func TestDegreeHistogramSkipsEmptyRows(t *testing.T) {
+	m := MustCOO(5, 5, []Triple[int64]{tri(0, 1, 1)})
+	h := DegreeHistogram(m, srI)
+	if len(h) != 1 || h[1] != 1 {
+		t.Errorf("histogram = %v, want only degree-1 row", h)
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	m := FromDense([][]int64{{2, 1}, {0, 5}}, srI)
+	if got := Trace(m, srI); got != 7 {
+		t.Errorf("Trace = %d, want 7", got)
+	}
+	if got := TraceCSR(m.ToCSR(srI), srI); got != 7 {
+		t.Errorf("TraceCSR = %d, want 7", got)
+	}
+	rect := FromDense([][]int64{{3, 0, 0}}, srI)
+	if got := Trace(rect, srI); got != 3 {
+		t.Errorf("rectangular Trace = %d, want 3", got)
+	}
+	if got := TraceCSR(rect.ToCSR(srI), srI); got != 3 {
+		t.Errorf("rectangular TraceCSR = %d, want 3", got)
+	}
+}

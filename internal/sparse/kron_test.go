@@ -1,0 +1,241 @@
+package sparse
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+func TestKronSmallDense(t *testing.T) {
+	// A = [1 2; 0 3], B = [0 1; 1 0]; verify C = A ⊗ B element by element.
+	a := FromDense([][]int64{{1, 2}, {0, 3}}, srI)
+	b := FromDense([][]int64{{0, 1}, {1, 0}}, srI)
+	c, err := Kron(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int64{
+		{0, 1, 0, 2},
+		{1, 0, 2, 0},
+		{0, 0, 0, 3},
+		{0, 0, 3, 0},
+	}, srI)
+	if !Equal(c, want, srI) {
+		t.Fatalf("Kron result wrong:\n got %v\nwant %v", c, want)
+	}
+}
+
+func TestKronNNZProduct(t *testing.T) {
+	a := FromDense([][]int64{{1, 1, 0}, {0, 1, 0}, {1, 0, 1}}, srI)
+	b := FromDense([][]int64{{1, 0}, {1, 1}}, srI)
+	c, err := Kron(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.NNZ(), a.NNZ()*b.NNZ(); got != want {
+		t.Errorf("nnz(A⊗B) = %d, want nnz(A)*nnz(B) = %d", got, want)
+	}
+	if c.NumRows != 6 || c.NumCols != 6 {
+		t.Errorf("dims %dx%d, want 6x6", c.NumRows, c.NumCols)
+	}
+}
+
+func TestKronAssociativity(t *testing.T) {
+	a := FromDense([][]int64{{1, 2}, {3, 0}}, srI)
+	b := FromDense([][]int64{{0, 1}, {1, 1}}, srI)
+	c := FromDense([][]int64{{2, 0}, {0, 5}}, srI)
+	ab, err := Kron(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := Kron(ab, c, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Kron(b, c, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Kron(a, bc, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(left, right, srI) {
+		t.Error("(A⊗B)⊗C != A⊗(B⊗C)")
+	}
+}
+
+func TestKronDistributesOverAdd(t *testing.T) {
+	a := FromDense([][]int64{{1, 0}, {2, 3}}, srI)
+	b := FromDense([][]int64{{0, 1}, {4, 0}}, srI)
+	c := FromDense([][]int64{{5, 0}, {0, 6}}, srI)
+	bPlusC, err := EWiseAdd(b, c, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := Kron(a, bPlusC, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := Kron(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := Kron(a, c, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := EWiseAdd(ab, ac, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(left, right, srI) {
+		t.Error("A⊗(B⊕C) != (A⊗B)⊕(A⊗C)")
+	}
+}
+
+// The mixed-product property from Section II:
+// (A⊗B)(C⊗D) = (AC)⊗(BD).
+func TestKronMixedProduct(t *testing.T) {
+	a := FromDense([][]int64{{1, 2}, {0, 1}}, srI)
+	b := FromDense([][]int64{{1, 1}, {1, 0}}, srI)
+	c := FromDense([][]int64{{0, 3}, {1, 0}}, srI)
+	d := FromDense([][]int64{{2, 0}, {0, 2}}, srI)
+
+	ab, err := Kron(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := Kron(c, d, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := MxM(ab.ToCSR(srI), cd.ToCSR(srI), srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ac, err := MxM(a.ToCSR(srI), c.ToCSR(srI), srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := MxM(b.ToCSR(srI), d.ToCSR(srI), srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Kron(ac.ToCOO(), bd.ToCOO(), srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(left.ToCOO(), right, srI) {
+		t.Error("(A⊗B)(C⊗D) != (AC)⊗(BD)")
+	}
+}
+
+func TestKronBooleanSemiring(t *testing.T) {
+	sb := semiring.OrAnd()
+	a := FromDense([][]bool{{true, false}, {true, true}}, sb)
+	b := FromDense([][]bool{{false, true}, {true, false}}, sb)
+	c, err := Kron(a, b, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != a.NNZ()*b.NNZ() {
+		t.Error("boolean Kron nnz product violated")
+	}
+	if !c.At(0, 1, sb) {
+		t.Error("C(0,1) should be true")
+	}
+}
+
+func TestKronNFold(t *testing.T) {
+	f := FromDense([][]int64{{1, 1}, {1, 0}}, srI)
+	c3, err := KronN(srI, f, f, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.NumRows != 8 || c3.NNZ() != 27 {
+		t.Errorf("3-fold Kron dims/nnz = %d/%d, want 8/27", c3.NumRows, c3.NNZ())
+	}
+	// Single factor returns a copy.
+	c1, err := KronN(srI, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(c1, f, srI) {
+		t.Error("1-fold Kron != factor")
+	}
+	if _, err := KronN(srI); err == nil {
+		t.Error("0-fold Kron accepted")
+	}
+}
+
+func TestKronStreamMatchesMaterialized(t *testing.T) {
+	a := FromDense([][]int64{{1, 2}, {0, 3}}, srI)
+	b := FromDense([][]int64{{0, 1}, {5, 0}}, srI)
+	want, err := Kron(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Triple[int64]
+	err = KronStream(a, b, srI, func(r, c int, v int64) error {
+		got = append(got, tri(r, c, v))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := MustCOO(want.NumRows, want.NumCols, got)
+	if !Equal(gm, want, srI) {
+		t.Error("KronStream triples disagree with Kron")
+	}
+}
+
+func TestKronStreamAbortsOnError(t *testing.T) {
+	a := FromDense([][]int64{{1, 1}, {1, 1}}, srI)
+	sentinel := errors.New("stop")
+	n := 0
+	err := KronStream(a, a, srI, func(r, c int, v int64) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if n != 3 {
+		t.Errorf("callback ran %d times after abort, want 3", n)
+	}
+}
+
+func TestKronOverflowGuard(t *testing.T) {
+	huge := &COO[int64]{NumRows: 1 << 32, NumCols: 1 << 32}
+	if _, err := Kron(huge, huge, srI); err == nil {
+		t.Error("dimension overflow not caught")
+	}
+	if err := KronStream(huge, huge, srI, func(int, int, int64) error { return nil }); err == nil {
+		t.Error("stream dimension overflow not caught")
+	}
+}
+
+func TestKronIdentityIsIdentity(t *testing.T) {
+	m := FromDense([][]int64{{1, 2}, {3, 4}}, srI)
+	one := Identity(1, srI)
+	left, err := Kron(one, m, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(left, m, srI) {
+		t.Error("I1 ⊗ M != M")
+	}
+	right, err := Kron(m, one, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(right, m, srI) {
+		t.Error("M ⊗ I1 != M")
+	}
+}

@@ -1,0 +1,72 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// MxMMasked computes C = (A ⊕.⊗ B) ⊗ M: the matrix product evaluated only
+// at the stored positions of the mask M, with the mask's values multiplied
+// in element-wise. This is the GraphBLAS masked-multiply pattern; it keeps
+// triangle counting on hub-dominated graphs at O(nnz) memory, where an
+// unmasked A·A would be dense.
+//
+// A is consumed by rows and B by columns, so B is transposed internally once.
+func MxMMasked[T any](a, b, m *CSR[T], sr semiring.Semiring[T]) (*CSR[T], error) {
+	if a.NumCols != b.NumRows {
+		return nil, fmt.Errorf("sparse: MxMMasked dimension mismatch %dx%d · %dx%d",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols)
+	}
+	if m.NumRows != a.NumRows || m.NumCols != b.NumCols {
+		return nil, fmt.Errorf("sparse: mask %dx%d does not match product %dx%d",
+			m.NumRows, m.NumCols, a.NumRows, b.NumCols)
+	}
+	bt := b.Transpose() // row j of bt = column j of B
+	out := &CSR[T]{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  make([]int, m.NumRows+1),
+	}
+	for i := 0; i < m.NumRows; i++ {
+		aCols, aVals := a.Row(i)
+		mCols, mVals := m.Row(i)
+		for k, j := range mCols {
+			bCols, bVals := bt.Row(j)
+			dot, nonzero := sparseDot(aCols, aVals, bCols, bVals, sr)
+			if !nonzero {
+				continue
+			}
+			v := sr.Mul(dot, mVals[k])
+			if sr.IsZero(v) {
+				continue
+			}
+			out.ColIdx = append(out.ColIdx, j)
+			out.Val = append(out.Val, v)
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out, nil
+}
+
+// sparseDot computes the semiring dot product of two sparse vectors given as
+// sorted (index, value) pairs, reporting whether any index matched.
+func sparseDot[T any](ai []int, av []T, bi []int, bv []T, sr semiring.Semiring[T]) (T, bool) {
+	acc := sr.Zero
+	matched := false
+	x, y := 0, 0
+	for x < len(ai) && y < len(bi) {
+		switch {
+		case ai[x] < bi[y]:
+			x++
+		case ai[x] > bi[y]:
+			y++
+		default:
+			acc = sr.Add(acc, sr.Mul(av[x], bv[y]))
+			matched = true
+			x++
+			y++
+		}
+	}
+	return acc, matched
+}

@@ -1,0 +1,77 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMxMMaskedMatchesUnmasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := randomCOO(int64(trial*3+1), m, k).ToCSR(srI)
+		b := randomCOO(int64(trial*3+2), k, n).ToCSR(srI)
+		mask := randomCOO(int64(trial*3+3), m, n).ToCSR(srI)
+		masked, err := MxMMasked(a, b, mask, srI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := masked.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		full, err := MxM(a, b, srI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EWiseMult(full.ToCOO(), mask.ToCOO(), srI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(masked.ToCOO(), want, srI) {
+			t.Fatalf("trial %d: masked product != (A·B)⊗M", trial)
+		}
+	}
+}
+
+func TestMxMMaskedDimensionChecks(t *testing.T) {
+	a := FromDense([][]int64{{1, 2}}, srI).ToCSR(srI)       // 1x2
+	b := FromDense([][]int64{{1}, {1}}, srI).ToCSR(srI)     // 2x1
+	mask := FromDense([][]int64{{1}}, srI).ToCSR(srI)       // 1x1
+	badMask := FromDense([][]int64{{1, 1}}, srI).ToCSR(srI) // 1x2
+	if _, err := MxMMasked(a, b, mask, srI); err != nil {
+		t.Errorf("valid masked multiply rejected: %v", err)
+	}
+	if _, err := MxMMasked(a, b, badMask, srI); err == nil {
+		t.Error("wrong mask shape accepted")
+	}
+	if _, err := MxMMasked(a, a, mask, srI); err == nil {
+		t.Error("incompatible A·B accepted")
+	}
+}
+
+func TestMxMMaskedTrianglePattern(t *testing.T) {
+	// K3: masked (A·A)⊗A has every off-diagonal entry = 1; sum = 6.
+	k3 := FromDense([][]int64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	}, srI).ToCSR(srI)
+	h, err := MxMMasked(k3, k3, k3, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ReduceAll(h.ToCOO(), srI); got != 6 {
+		t.Errorf("1ᵀ((A·A)⊗A)1 for K3 = %d, want 6", got)
+	}
+}
+
+func TestSparseDot(t *testing.T) {
+	v, matched := sparseDot([]int{1, 3, 5}, []int64{2, 3, 4}, []int{3, 5, 9}, []int64{10, 100, 1}, srI)
+	if !matched || v != 3*10+4*100 {
+		t.Errorf("sparseDot = %d (matched=%v), want 430", v, matched)
+	}
+	_, matched = sparseDot([]int{1, 2}, []int64{1, 1}, []int{3, 4}, []int64{1, 1}, srI)
+	if matched {
+		t.Error("disjoint supports reported a match")
+	}
+}

@@ -1,0 +1,115 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// MxM computes the sparse matrix product C = A ⊕.⊗ B under the semiring,
+// using the classical Gustavson row-by-row gather/scatter algorithm. Inputs
+// must be dimensionally compatible; outputs are canonical CSR.
+func MxM[T any](a, b *CSR[T], sr semiring.Semiring[T]) (*CSR[T], error) {
+	if a.NumCols != b.NumRows {
+		return nil, fmt.Errorf("sparse: MxM dimension mismatch %dx%d · %dx%d",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols)
+	}
+	out := &CSR[T]{
+		NumRows: a.NumRows,
+		NumCols: b.NumCols,
+		RowPtr:  make([]int, a.NumRows+1),
+	}
+	// Scatter workspace: accum[j] holds the running ⊕ for column j of the
+	// current output row; mark[j] == rowStamp indicates accum[j] is live.
+	accum := make([]T, b.NumCols)
+	mark := make([]int, b.NumCols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var cols []int // live columns of the current row, unsorted
+	for i := 0; i < a.NumRows; i++ {
+		cols = cols[:0]
+		for ka := a.RowPtr[i]; ka < a.RowPtr[i+1]; ka++ {
+			k := a.ColIdx[ka]
+			av := a.Val[ka]
+			for kb := b.RowPtr[k]; kb < b.RowPtr[k+1]; kb++ {
+				j := b.ColIdx[kb]
+				p := sr.Mul(av, b.Val[kb])
+				if mark[j] != i {
+					mark[j] = i
+					accum[j] = p
+					cols = append(cols, j)
+				} else {
+					accum[j] = sr.Add(accum[j], p)
+				}
+			}
+		}
+		sortInts(cols)
+		for _, j := range cols {
+			if sr.IsZero(accum[j]) {
+				continue
+			}
+			out.ColIdx = append(out.ColIdx, j)
+			out.Val = append(out.Val, accum[j])
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out, nil
+}
+
+// MxV computes y = A ⊕.⊗ x for a dense vector x of length A.NumCols,
+// returning a dense vector of length A.NumRows initialized to sr.Zero.
+func MxV[T any](a *CSR[T], x []T, sr semiring.Semiring[T]) ([]T, error) {
+	if len(x) != a.NumCols {
+		return nil, fmt.Errorf("sparse: MxV length mismatch: vector %d, matrix cols %d",
+			len(x), a.NumCols)
+	}
+	y := make([]T, a.NumRows)
+	for i := range y {
+		y[i] = sr.Zero
+	}
+	for i := 0; i < a.NumRows; i++ {
+		acc := sr.Zero
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			acc = sr.Add(acc, sr.Mul(a.Val[k], x[a.ColIdx[k]]))
+		}
+		y[i] = acc
+	}
+	return y, nil
+}
+
+// MatPow computes Aᵖ under the semiring for p ≥ 1 by repeated MxM.
+// A must be square.
+func MatPow[T any](a *CSR[T], p int, sr semiring.Semiring[T]) (*CSR[T], error) {
+	if a.NumRows != a.NumCols {
+		return nil, fmt.Errorf("sparse: MatPow requires a square matrix, got %dx%d",
+			a.NumRows, a.NumCols)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("sparse: MatPow exponent %d < 1", p)
+	}
+	acc := a
+	for i := 1; i < p; i++ {
+		next, err := MxM(acc, a, sr)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// sortInts is an insertion sort specialized for the short per-row column
+// lists produced by MxM; it avoids sort.Ints interface overhead on the hot
+// path.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

@@ -1,0 +1,160 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+func TestMxMSmall(t *testing.T) {
+	a := FromDense([][]int64{{1, 2}, {3, 4}}, srI).ToCSR(srI)
+	b := FromDense([][]int64{{5, 6}, {7, 8}}, srI).ToCSR(srI)
+	c, err := MxM(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int64{{19, 22}, {43, 50}}, srI)
+	if !Equal(c.ToCOO(), want, srI) {
+		t.Fatalf("MxM wrong: got %v", c.ToCOO())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMxMRectangular(t *testing.T) {
+	a := FromDense([][]int64{{1, 0, 2}}, srI).ToCSR(srI)     // 1x3
+	b := FromDense([][]int64{{1}, {1}, {1}}, srI).ToCSR(srI) // 3x1
+	c, err := MxM(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows != 1 || c.NumCols != 1 || c.At(0, 0, srI) != 3 {
+		t.Fatalf("1x3·3x1 = %v, want [[3]]", c.ToCOO())
+	}
+}
+
+func TestMxMDimensionMismatch(t *testing.T) {
+	a := FromDense([][]int64{{1, 2}}, srI).ToCSR(srI)
+	b := FromDense([][]int64{{1, 2}}, srI).ToCSR(srI)
+	if _, err := MxM(a, b, srI); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestMxMDropsCancelledEntries(t *testing.T) {
+	a := FromDense([][]int64{{1, -1}}, srI).ToCSR(srI)
+	b := FromDense([][]int64{{1}, {1}}, srI).ToCSR(srI)
+	c, err := MxM(a, b, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 0 {
+		t.Errorf("cancelled dot product stored: %v", c.ToCOO())
+	}
+}
+
+func TestMxMBooleanReachability(t *testing.T) {
+	sb := semiring.OrAnd()
+	// Path 0→1→2; A² should contain 0→2.
+	a := FromDense([][]bool{
+		{false, true, false},
+		{false, false, true},
+		{false, false, false},
+	}, sb).ToCSR(sb)
+	a2, err := MxM(a, a, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.At(0, 2, sb) {
+		t.Error("A² missing two-hop reachability 0→2")
+	}
+	if a2.At(0, 1, sb) {
+		t.Error("A² contains one-hop edge 0→1")
+	}
+}
+
+func TestMxMMinPlusShortestPath(t *testing.T) {
+	sp := semiring.MinPlus()
+	inf := sp.Zero
+	// Weighted digraph: 0→1 (1), 1→2 (2), 0→2 (10). Two-hop min-plus
+	// product must find the length-3 path 0→1→2.
+	d := [][]float64{
+		{inf, 1, 10},
+		{inf, inf, 2},
+		{inf, inf, inf},
+	}
+	a := FromDense(d, sp).ToCSR(sp)
+	a2, err := MxM(a, a, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a2.At(0, 2, sp); got != 3 {
+		t.Errorf("min-plus A²(0,2) = %v, want 3", got)
+	}
+}
+
+func TestMxV(t *testing.T) {
+	a := FromDense([][]int64{{1, 2, 0}, {0, 0, 3}}, srI).ToCSR(srI)
+	y, err := MxV(a, []int64{1, 1, 1}, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 3 {
+		t.Errorf("MxV = %v, want [3 3]", y)
+	}
+	if _, err := MxV(a, []int64{1}, srI); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMatPow(t *testing.T) {
+	a := FromDense([][]int64{{1, 1}, {1, 0}}, srI).ToCSR(srI) // Fibonacci matrix
+	a5, err := MatPow(a, 5, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [[F6 F5],[F5 F4]] = [[8 5],[5 3]]
+	want := FromDense([][]int64{{8, 5}, {5, 3}}, srI)
+	if !Equal(a5.ToCOO(), want, srI) {
+		t.Fatalf("A^5 = %v, want Fibonacci values", a5.ToCOO())
+	}
+	if _, err := MatPow(a, 0, srI); err == nil {
+		t.Error("exponent 0 accepted")
+	}
+	rect := FromDense([][]int64{{1, 2, 3}}, srI).ToCSR(srI)
+	if _, err := MatPow(rect, 2, srI); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestTraceOfCube(t *testing.T) {
+	// Triangle graph K3: trace(A³) = 6 (each of the two directed triangles
+	// counted from each of 3 starting vertices).
+	k3 := FromDense([][]int64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	}, srI)
+	a3, err := MatPow(k3.ToCSR(srI), 3, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TraceCSR(a3, srI); got != 6 {
+		t.Errorf("trace(K3³) = %d, want 6", got)
+	}
+	if got := Trace(a3.ToCOO(), srI); got != 6 {
+		t.Errorf("COO trace(K3³) = %d, want 6", got)
+	}
+}
+
+func TestSortIntsHelper(t *testing.T) {
+	s := []int{5, 1, 4, 1, 3}
+	sortInts(s)
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			t.Fatalf("not sorted: %v", s)
+		}
+	}
+	sortInts(nil) // must not panic
+}

@@ -1,0 +1,147 @@
+package sparse
+
+import (
+	"testing"
+)
+
+func TestRandomPermutationIsPermutation(t *testing.T) {
+	p := RandomPermutation(100, 7)
+	if _, err := InversePermutation(p); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for a seed.
+	q := RandomPermutation(100, 7)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("permutation not deterministic for fixed seed")
+		}
+	}
+	// Different seeds differ (overwhelmingly likely at n=100).
+	r := RandomPermutation(100, 8)
+	same := true
+	for i := range p {
+		if p[i] != r[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical permutations")
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	p := []int{2, 0, 1}
+	q, err := InversePermutation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if q[p[i]] != i {
+			t.Fatalf("inverse wrong at %d", i)
+		}
+	}
+	if _, err := InversePermutation([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := InversePermutation([]int{0, 3}); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestApplyPermutation(t *testing.T) {
+	m := FromDense([][]int64{
+		{0, 5, 0},
+		{5, 0, 0},
+		{0, 0, 7},
+	}, srI)
+	// Swap vertices 0 and 2.
+	p := []int{2, 1, 0}
+	out, err := ApplyPermutation(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int64{
+		{7, 0, 0},
+		{0, 0, 5},
+		{0, 5, 0},
+	}, srI)
+	if !Equal(out, want, srI) {
+		t.Errorf("permuted = %v, want %v", out, want)
+	}
+	if _, err := ApplyPermutation(MustCOO[int64](2, 3, nil), []int{0, 1}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := ApplyPermutation(m, []int{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+}
+
+// Relabeling invariants: degree histogram and symmetry survive permutation,
+// and applying the inverse restores the original.
+func TestPermutationInvariants(t *testing.T) {
+	m := randomCOO(31, 8, 8)
+	// Symmetrize for the degree-histogram check.
+	sym, err := EWiseAdd(m, m.Transpose(), srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RandomPermutation(8, 3)
+	shuffled, err := ApplyPermutation(sym, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := DegreeHistogram(sym, srI)
+	h2 := DegreeHistogram(shuffled, srI)
+	if len(h1) != len(h2) {
+		t.Fatalf("histograms differ: %v vs %v", h1, h2)
+	}
+	for d, n := range h1 {
+		if h2[d] != n {
+			t.Errorf("n(%d): %d vs %d", d, n, h2[d])
+		}
+	}
+	if !shuffled.IsSymmetric(srI) {
+		t.Error("symmetry lost under permutation")
+	}
+	inv, err := InversePermutation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ApplyPermutation(shuffled, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(back, sym, srI) {
+		t.Error("inverse permutation did not restore matrix")
+	}
+}
+
+// PᵀAP via matrix algebra equals ApplyPermutation.
+func TestPermutationMatrixAgrees(t *testing.T) {
+	a := randomCOO(17, 5, 5)
+	p := RandomPermutation(5, 9)
+	pm, err := PermutationMatrix(p, int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pm.Transpose().ToCSR(srI)
+	ap, err := MxM(a.ToCSR(srI), pm.ToCSR(srI), srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptap, err := MxM(pt, ap, srI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ApplyPermutation(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(ptap.ToCOO(), direct, srI) {
+		t.Error("PᵀAP != ApplyPermutation")
+	}
+	if _, err := PermutationMatrix([]int{0, 0}, int64(1)); err == nil {
+		t.Error("invalid permutation accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package sparse
+
+import (
+	"repro/internal/semiring"
+)
+
+// ReduceRows returns the vector of per-row ⊕-reductions of the stored
+// values: out[i] = ⊕ⱼ A(i,j). For a 0/1 adjacency matrix under plus-times
+// this is the out-degree vector.
+func ReduceRows[T any](m *COO[T], sr semiring.Semiring[T]) []T {
+	out := make([]T, m.NumRows)
+	for i := range out {
+		out[i] = sr.Zero
+	}
+	for _, t := range m.Tr {
+		out[t.Row] = sr.Add(out[t.Row], t.Val)
+	}
+	return out
+}
+
+// ReduceCols returns the vector of per-column ⊕-reductions:
+// out[j] = ⊕ᵢ A(i,j) — the in-degree vector for 0/1 adjacency matrices.
+func ReduceCols[T any](m *COO[T], sr semiring.Semiring[T]) []T {
+	out := make([]T, m.NumCols)
+	for j := range out {
+		out[j] = sr.Zero
+	}
+	for _, t := range m.Tr {
+		out[t.Col] = sr.Add(out[t.Col], t.Val)
+	}
+	return out
+}
+
+// ReduceAll folds ⊕ over every stored value of m.
+func ReduceAll[T any](m *COO[T], sr semiring.Semiring[T]) T {
+	acc := sr.Zero
+	for _, t := range m.Tr {
+		acc = sr.Add(acc, t.Val)
+	}
+	return acc
+}
+
+// Trace returns ⊕ᵢ A(i,i) over the stored diagonal entries.
+func Trace[T any](m *COO[T], sr semiring.Semiring[T]) T {
+	acc := sr.Zero
+	for _, t := range m.Tr {
+		if t.Row == t.Col {
+			acc = sr.Add(acc, t.Val)
+		}
+	}
+	return acc
+}
+
+// TraceCSR returns ⊕ᵢ A(i,i) for a CSR matrix.
+func TraceCSR[T any](m *CSR[T], sr semiring.Semiring[T]) T {
+	acc := sr.Zero
+	n := m.NumRows
+	if m.NumCols < n {
+		n = m.NumCols
+	}
+	for i := 0; i < n; i++ {
+		acc = sr.Add(acc, m.At(i, i, sr))
+	}
+	return acc
+}
+
+// RowNNZCounts returns the number of stored entries per row of the canonical
+// form of m — the structural (pattern) degree used by the paper's degree
+// distributions, where a self-loop contributes 1.
+func RowNNZCounts[T any](m *COO[T], sr semiring.Semiring[T]) []int {
+	c := m.Dedupe(sr)
+	out := make([]int, c.NumRows)
+	for _, t := range c.Tr {
+		out[t.Row]++
+	}
+	return out
+}
+
+// DegreeHistogram maps structural row degree d to the number of rows with
+// that degree, skipping rows of degree 0 (the paper's n(d) has non-zero
+// support only).
+func DegreeHistogram[T any](m *COO[T], sr semiring.Semiring[T]) map[int]int {
+	h := make(map[int]int)
+	for _, d := range RowNNZCounts(m, sr) {
+		if d > 0 {
+			h[d]++
+		}
+	}
+	return h
+}

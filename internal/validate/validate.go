@@ -1,0 +1,155 @@
+// Package validate is the paper's "validation" pillar: generate a designed
+// graph in parallel, measure its properties from the realized edges alone,
+// and confirm exact agreement with the design-time predictions (the
+// predicted-vs-measured comparison of Figure 4).
+package validate
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"sync"
+
+	"repro/internal/bigdeg"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+	"repro/internal/triangle"
+)
+
+// Report compares predicted and measured properties of one design.
+type Report struct {
+	Design *core.Design
+	// Workers is the processor count used for generation.
+	Workers int
+
+	PredictedVertices  *big.Int
+	PredictedEdges     *big.Int
+	PredictedTriangles *big.Int
+	PredictedDegrees   *bigdeg.Dist
+
+	MeasuredVertices  int64 // vertices with ≥1 incident edge
+	MeasuredEdges     int64
+	MeasuredTriangles int64
+	MeasuredDegrees   *bigdeg.Dist
+
+	// ExactAgreement is true when every measured property equals its
+	// prediction — the paper's headline validation result.
+	ExactAgreement bool
+	// Mismatches lists any disagreements found.
+	Mismatches []string
+}
+
+// Run generates the design with np workers via the split generator (split
+// after nb factors), measures everything from the streamed edges, and
+// compares against the design's predictions.
+// MaxRealizableEdges caps the designs Run will realize in memory; larger
+// designs must be validated through the design-side identities alone.
+const MaxRealizableEdges = 1 << 27
+
+func Run(d *core.Design, nb, np int) (*Report, error) {
+	pred, err := d.Compute()
+	if err != nil {
+		return nil, err
+	}
+	if !pred.Vertices.IsInt64() || !pred.Edges.IsInt64() ||
+		pred.Edges.Int64() > MaxRealizableEdges {
+		return nil, fmt.Errorf("validate: design too large to realize (%s vertices, %s edges)",
+			pred.Vertices, pred.Edges)
+	}
+	g, err := gen.New(d, nb)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Design:             d,
+		Workers:            np,
+		PredictedVertices:  pred.Vertices,
+		PredictedEdges:     pred.Edges,
+		PredictedTriangles: pred.Triangles,
+		PredictedDegrees:   pred.Degrees,
+	}
+
+	n := pred.Vertices.Int64()
+
+	// Collect the streamed edges into per-worker buffers (no shared state
+	// during generation, mirroring the algorithm's no-communication form).
+	buffers := make([][]sparse.Triple[int64], np)
+	var mu sync.Mutex
+	err = g.Stream(np, func(w int, e gen.Edge) error {
+		mu.Lock()
+		buffers[w] = append(buffers[w], sparse.Triple[int64]{Row: int(e.Row), Col: int(e.Col), Val: e.Val})
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tr []sparse.Triple[int64]
+	for _, b := range buffers {
+		tr = append(tr, b...)
+	}
+	a, err := sparse.NewCOO(int(n), int(n), tr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Measure everything from the realized edges only.
+	sr := semiring.PlusTimesInt64()
+	r.MeasuredEdges = int64(a.Dedupe(sr).NNZ())
+	hist := sparse.DegreeHistogram(a, sr)
+	md := bigdeg.New()
+	var touched int64
+	for deg, cnt := range hist {
+		md.AddCount(big.NewInt(int64(deg)), big.NewInt(int64(cnt)))
+		touched += int64(cnt)
+	}
+	r.MeasuredDegrees = md
+	r.MeasuredVertices = touched
+	tri, err := triangle.CountBoth(a)
+	if err != nil {
+		return nil, err
+	}
+	r.MeasuredTriangles = tri
+
+	r.compare()
+	return r, nil
+}
+
+func (r *Report) compare() {
+	check := func(name string, predicted *big.Int, measured int64) {
+		if predicted.Cmp(big.NewInt(measured)) != 0 {
+			r.Mismatches = append(r.Mismatches,
+				fmt.Sprintf("%s: predicted %s, measured %d", name, predicted, measured))
+		}
+	}
+	check("vertices", r.PredictedVertices, r.MeasuredVertices)
+	check("edges", r.PredictedEdges, r.MeasuredEdges)
+	check("triangles", r.PredictedTriangles, r.MeasuredTriangles)
+	if !bigdeg.Equal(r.PredictedDegrees, r.MeasuredDegrees) {
+		r.Mismatches = append(r.Mismatches, "degree distribution differs")
+	}
+	r.ExactAgreement = len(r.Mismatches) == 0
+}
+
+// String renders the report in the predicted-vs-measured style of Figure 4.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design: %v  workers: %d\n", r.Design, r.Workers)
+	fmt.Fprintf(&b, "%-12s %24s %24s\n", "property", "predicted", "measured")
+	fmt.Fprintf(&b, "%-12s %24s %24d\n", "vertices", r.PredictedVertices, r.MeasuredVertices)
+	fmt.Fprintf(&b, "%-12s %24s %24d\n", "edges", r.PredictedEdges, r.MeasuredEdges)
+	fmt.Fprintf(&b, "%-12s %24s %24d\n", "triangles", r.PredictedTriangles, r.MeasuredTriangles)
+	fmt.Fprintf(&b, "degree distribution: predicted %d points, measured %d points\n",
+		r.PredictedDegrees.Len(), r.MeasuredDegrees.Len())
+	if r.ExactAgreement {
+		b.WriteString("RESULT: exact agreement\n")
+	} else {
+		fmt.Fprintf(&b, "RESULT: %d mismatches\n", len(r.Mismatches))
+		for _, m := range r.Mismatches {
+			fmt.Fprintf(&b, "  - %s\n", m)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/star"
+)
+
+// The reproduction of Figure 4's claim at laptop scale: generated graphs
+// agree *exactly* with their design-time predictions, for every loop mode
+// and multiple worker counts.
+func TestExactAgreement(t *testing.T) {
+	cases := []struct {
+		pts  []int
+		loop star.LoopMode
+		nb   int
+		np   int
+	}{
+		{[]int{3, 4, 5}, star.LoopNone, 2, 1},
+		{[]int{3, 4, 5}, star.LoopNone, 2, 4},
+		{[]int{3, 4, 5}, star.LoopHub, 2, 3},
+		{[]int{3, 4, 5}, star.LoopLeaf, 1, 2},
+		{[]int{5, 3}, star.LoopHub, 1, 2},
+		{[]int{3, 4, 5, 9}, star.LoopHub, 2, 4},
+		{[]int{2, 3, 4, 5}, star.LoopLeaf, 2, 5},
+	}
+	for _, tc := range cases {
+		d, err := core.FromPoints(tc.pts, tc.loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(d, tc.nb, tc.np)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if !r.ExactAgreement {
+			t.Errorf("%v np=%d: mismatches: %v", d, tc.np, r.Mismatches)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(d, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"predicted", "measured", "exact agreement", "triangles"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMismatchDetection(t *testing.T) {
+	// Corrupt a prediction and confirm compare() flags it.
+	d, err := core.FromPoints([]int{3, 4}, star.LoopNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(d, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ExactAgreement {
+		t.Fatalf("baseline should agree: %v", r.Mismatches)
+	}
+	r.PredictedEdges.Add(r.PredictedEdges, r.PredictedVertices)
+	r.Mismatches = nil
+	r.compare()
+	if r.ExactAgreement {
+		t.Error("corrupted prediction not detected")
+	}
+	if !strings.Contains(r.String(), "mismatches") {
+		t.Error("report does not surface mismatch")
+	}
+}
+
+func TestRejectsUnrealizableDesign(t *testing.T) {
+	pts := []int{3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641}
+	d, err := core.FromPoints(pts, star.LoopLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(d, 8, 2); err == nil {
+		t.Error("decetta-scale design accepted for realization")
+	}
+}

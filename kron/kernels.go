@@ -1,0 +1,61 @@
+package kron
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+// PageRankResult carries PageRank scores and convergence metadata.
+type PageRankResult = kernels.PageRankResult
+
+// PageRankOf realizes the design and runs damped power-iteration PageRank
+// over it.
+func PageRankOf(d *Design, damping, tol float64, maxIter int) (*PageRankResult, error) {
+	a, err := d.Realize()
+	if err != nil {
+		return nil, err
+	}
+	return kernels.PageRank(a.ToCSR(semiring.PlusTimesInt64()), damping, tol, maxIter)
+}
+
+// BFSLevelsOf realizes the design and returns hop distances from src using
+// the boolean-semiring BFS kernel (-1 = unreachable).
+func BFSLevelsOf(d *Design, src int) ([]int, error) {
+	a, err := d.Realize()
+	if err != nil {
+		return nil, err
+	}
+	return kernels.BFSLevels(kernels.BoolFromInt64(a), src)
+}
+
+// BFSTreeOf realizes the design and returns a validated Graph500-style BFS
+// parent tree rooted at src.
+func BFSTreeOf(d *Design, src int) ([]int, error) {
+	a, err := d.Realize()
+	if err != nil {
+		return nil, err
+	}
+	ba := kernels.BoolFromInt64(a)
+	parent, err := kernels.BFSTree(ba, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := kernels.ValidateBFSTree(ba, src, parent); err != nil {
+		return nil, err
+	}
+	return parent, nil
+}
+
+// ComponentsOf realizes the design and returns measured component labels
+// and count; compare with Design.PredictedComponents.
+func ComponentsOf(d *Design) ([]int, int, error) {
+	a, err := d.Realize()
+	if err != nil {
+		return nil, 0, err
+	}
+	return kernels.Components(a.ToCSR(semiring.PlusTimesInt64()))
+}
+
+// AdjacencyOf realizes the design's adjacency matrix (self-loop removed).
+func AdjacencyOf(d *Design) (*sparse.COO[int64], error) { return d.Realize() }

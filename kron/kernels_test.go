@@ -1,0 +1,89 @@
+package kron_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/kron"
+)
+
+func TestPageRankOf(t *testing.T) {
+	d, err := kron.FromPoints([]int{3, 4}, kron.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := kron.PageRankOf(d, 0.85, 1e-10, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Errorf("scores sum to %v", sum)
+	}
+}
+
+func TestBFSLevelsOfAndTree(t *testing.T) {
+	d, err := kron.FromPoints([]int{3, 4}, kron.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := kron.BFSLevelsOf(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := kron.BFSTreeOf(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 20 || len(parent) != 20 {
+		t.Fatalf("lengths %d, %d, want 20", len(levels), len(parent))
+	}
+	if levels[0] != 0 || parent[0] != 0 {
+		t.Error("root wrong")
+	}
+	// Hub-loop products are connected: everything reached.
+	for v := range levels {
+		if levels[v] < 0 || parent[v] < 0 {
+			t.Errorf("vertex %d unreached", v)
+		}
+	}
+}
+
+func TestComponentsOfMatchesPrediction(t *testing.T) {
+	for _, tc := range []struct {
+		pts  []int
+		loop kron.LoopMode
+	}{
+		{[]int{3, 4, 5}, kron.LoopNone},
+		{[]int{3, 4, 5}, kron.LoopHub},
+	} {
+		d, err := kron.FromPoints(tc.pts, tc.loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, k, err := kron.ComponentsOf(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := d.PredictedComponents(); want.Int64() != int64(k) {
+			t.Errorf("%v: measured %d components, predicted %s", d, k, want)
+		}
+	}
+}
+
+func TestAdjacencyOf(t *testing.T) {
+	d, err := kron.FromPoints([]int{3, 4}, kron.LoopNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := kron.AdjacencyOf(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows != 20 || a.NNZ() != 48 {
+		t.Errorf("adjacency %dx%d nnz %d", a.NumRows, a.NumCols, a.NNZ())
+	}
+}
