@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,15 +30,29 @@ import (
 
 var plotFigures bool
 
+// jsonDir is non-empty when -json is set: each figure writes a
+// BENCH_<name>.json snapshot there so successive commits accumulate a
+// machine-readable perf trajectory.
+var jsonDir string
+
+// benchExtra collects figure-specific metrics (rates, counts) for the
+// current figure's JSON snapshot; figures add to it via recordBench.
+var benchExtra map[string]any
+
 func main() {
 	fs := flag.NewFlagSet("kronbench", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: 1..7, rmat, or all")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "max worker count for rate sweeps")
 	plots := fs.Bool("plot", false, "render degree distributions as ASCII log-log plots")
+	jsonOut := fs.Bool("json", false, "write a BENCH_<name>.json timing snapshot per figure")
+	jsonTo := fs.String("json-dir", ".", "directory for -json snapshots")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	plotFigures = *plots
+	if *jsonOut {
+		jsonDir = *jsonTo
+	}
 	if err := run(*fig, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "kronbench:", err)
 		os.Exit(1)
@@ -50,23 +65,63 @@ func run(fig string, maxWorkers int) error {
 		fn   func(int) error
 	}
 	all := []figFn{
-		{"1", fig1}, {"2", fig2}, {"3", fig3}, {"4", fig4},
-		{"5", fig5}, {"6", fig6}, {"7", fig7}, {"rmat", figRMAT},
+		{"fig1", fig1}, {"fig2", fig2}, {"fig3", fig3}, {"fig4", fig4},
+		{"fig5", fig5}, {"fig6", fig6}, {"fig7", fig7}, {"rmat", figRMAT},
 	}
 	if fig == "all" {
 		for _, f := range all {
-			if err := f.fn(maxWorkers); err != nil {
-				return fmt.Errorf("fig %s: %w", f.name, err)
+			if err := runFig(f.name, f.fn, maxWorkers); err != nil {
+				return fmt.Errorf("%s: %w", f.name, err)
 			}
 		}
 		return nil
 	}
 	for _, f := range all {
-		if f.name == fig {
-			return f.fn(maxWorkers)
+		if f.name == fig || f.name == "fig"+fig {
+			return runFig(f.name, f.fn, maxWorkers)
 		}
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+// runFig times one figure and, under -json, writes BENCH_<name>.json with
+// the elapsed time plus whatever metrics the figure recorded.
+func runFig(name string, fn func(int) error, maxWorkers int) error {
+	benchExtra = map[string]any{}
+	start := time.Now()
+	if err := fn(maxWorkers); err != nil {
+		return err
+	}
+	if jsonDir == "" {
+		return nil
+	}
+	payload := map[string]any{
+		"name":       name,
+		"seconds":    time.Since(start).Seconds(),
+		"maxWorkers": maxWorkers,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"goVersion":  runtime.Version(),
+	}
+	for k, v := range benchExtra {
+		payload[k] = v
+	}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", jsonDir, name)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}
+
+// recordBench adds one metric to the running figure's JSON snapshot.
+func recordBench(key string, v any) {
+	if benchExtra != nil {
+		benchExtra[key] = v
+	}
 }
 
 func header(title string) {
@@ -132,6 +187,7 @@ func fig3(maxWorkers int) error {
 	fmt.Printf("workload: %v, %d edges per full generation\n", d, g.NumEdges())
 	fmt.Printf("%-8s %-14s %s\n", "cores", "edges/s", "source")
 	perCore := 0.0
+	var measured []parallel.ScalingPoint
 	for np := 1; np <= maxWorkers; np *= 2 {
 		start := time.Now()
 		total, _, err := g.CountEdges(np)
@@ -142,8 +198,12 @@ func fig3(maxWorkers int) error {
 		if np == 1 {
 			perCore = rate
 		}
+		measured = append(measured, parallel.ScalingPoint{Cores: np, EdgesPerSec: rate})
 		fmt.Printf("%-8d %-14.3e measured\n", np, rate)
 	}
+	recordBench("edgesPerGeneration", g.NumEdges())
+	recordBench("perCoreEdgesPerSec", perCore)
+	recordBench("measuredScaling", measured)
 	model := parallel.ScalingModel{PerCoreRate: perCore}
 	for _, pt := range model.Series([]int{64, 1024, 4096, 41472}) {
 		fmt.Printf("%-8d %-14.3e modeled (linear, zero communication)\n", pt.Cores, pt.EdgesPerSec)

@@ -1,0 +1,98 @@
+// Command kronserve runs the streaming graph-generation job service: the
+// paper's design → generate → validate workflow behind a long-running HTTP
+// API.
+//
+//	kronserve -addr :8080 -max-jobs 8 -max-workers 16
+//
+// Endpoints:
+//
+//	POST   /v1/designs         exact properties of a design (no generation)
+//	POST   /v1/jobs            start a generation job
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job status + progress
+//	GET    /v1/jobs/{id}/edges chunked edge stream (format=tsv|matrixmarket)
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/validate/{id}   exact-agreement validation of a done job
+//	GET    /healthz            liveness
+//	GET    /metrics            Prometheus text exposition
+//
+// See README.md for a curl-level walkthrough and examples/service for a Go
+// client round trip.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("kronserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxJobs := fs.Int("max-jobs", 0, "max concurrent jobs (0 = default)")
+	maxWorkers := fs.Int("max-workers", 0, "max per-job generation workers (0 = default)")
+	cacheSize := fs.Int("cache", 0, "design-property LRU capacity (0 = default)")
+	maxBNNZ := fs.Int64("max-bnnz", 0, "max B-side stored entries per job (0 = default)")
+	maxCNNZ := fs.Int64("max-cnnz", 0, "max C-side stored entries per job (0 = default)")
+	queueDepth := fs.Int("queue-depth", 0, "per-job stream buffer in batches (0 = default)")
+	attachTimeout := fs.Duration("attach-timeout", 0, "cancel streaming jobs with no consumer after this long (0 = default)")
+	history := fs.Int("history", 0, "finished jobs kept queryable (0 = default)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		MaxConcurrentJobs: *maxJobs,
+		MaxWorkers:        *maxWorkers,
+		CacheSize:         *cacheSize,
+		MaxBNNZ:           *maxBNNZ,
+		MaxCNNZ:           *maxCNNZ,
+		QueueDepth:        *queueDepth,
+		AttachTimeout:     *attachTimeout,
+		MaxJobHistory:     *history,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Edge streams run for as long as generation takes; only bound the
+		// handshake and idle keep-alives, never the response write.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("kronserve listening on %s\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		fmt.Printf("kronserve: %v: draining\n", sig)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "kronserve:", err)
+		svc.Close()
+		os.Exit(1)
+	}
+
+	// Cancel running jobs first (closes their edge streams), then shut the
+	// listener down gracefully.
+	svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "kronserve: shutdown:", err)
+		os.Exit(1)
+	}
+}

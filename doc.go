@@ -5,7 +5,11 @@
 // The public API lives in repro/kron; the substrates live under
 // repro/internal (sparse semiring linear algebra, star constituents,
 // arbitrary-precision degree distributions, the communication-free parallel
-// generator, an R-MAT baseline, and the validation harness). The benchmarks
-// in bench_test.go regenerate every figure of the paper; see DESIGN.md for
-// the per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+// generator, an R-MAT baseline, and the validation harness). The
+// design → generate → validate workflow also runs as a long-lived HTTP job
+// service: repro/internal/service behind cmd/kronserve, with README.md
+// walking through a curl-level round trip. The benchmarks in bench_test.go
+// and cmd/kronbench regenerate every figure of the paper; see DESIGN.md for
+// the architecture and per-experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
 package repro

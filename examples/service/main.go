@@ -1,0 +1,166 @@
+// The service example is a Go-client round trip against kronserve: design →
+// generate → stream → validate, the full workflow of the paper over HTTP.
+//
+// By default it starts an in-process server on a loopback port so it runs
+// with no setup; point it at a real kronserve with -addr:
+//
+//	go run ./examples/service                       # self-contained
+//	kronserve -addr :8080 &                         # or against a server
+//	go run ./examples/service -addr http://localhost:8080
+//
+// The equivalent curl session is printed as it goes (and documented in
+// README.md).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running kronserve (empty = start one in-process)")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "service example:", err)
+		os.Exit(1)
+	}
+}
+
+func run(base string) error {
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		svc := service.New(service.Config{})
+		defer svc.Close()
+		go func() { _ = http.Serve(ln, svc.Handler()) }()
+		defer ln.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("started in-process kronserve at %s\n\n", base)
+	}
+
+	design := map[string]any{"points": []int{3, 4, 5, 9}, "loop": "hub"}
+
+	// 1. Design: exact properties, no generation.
+	fmt.Println(`# curl -X POST $KRONSERVE/v1/designs -d '{"points":[3,4,5,9],"loop":"hub"}'`)
+	var props struct {
+		Vertices  string  `json:"vertices"`
+		Edges     string  `json:"edges"`
+		Triangles string  `json:"triangles"`
+		Alpha     float64 `json:"alpha"`
+	}
+	if err := postJSON(base+"/v1/designs", design, &props); err != nil {
+		return err
+	}
+	fmt.Printf("designed graph: %s vertices, %s edges, %s triangles, alpha %.4f\n\n",
+		props.Vertices, props.Edges, props.Triangles, props.Alpha)
+
+	// 2. Generate: start a 4-worker streaming job.
+	fmt.Println(`# curl -X POST $KRONSERVE/v1/jobs -d '{"points":[3,4,5,9],"loop":"hub","workers":4}'`)
+	job := map[string]any{"points": []int{3, 4, 5, 9}, "loop": "hub", "workers": 4}
+	var status struct {
+		ID         string `json:"id"`
+		State      string `json:"state"`
+		TotalEdges int64  `json:"totalEdges"`
+	}
+	if err := postJSON(base+"/v1/jobs", job, &status); err != nil {
+		return err
+	}
+	fmt.Printf("job %s admitted (%s), %d edges to generate\n\n", status.ID, status.State, status.TotalEdges)
+
+	// 3. Stream: drain the chunked TSV edge stream.
+	fmt.Printf("# curl $KRONSERVE/v1/jobs/%s/edges\n", status.ID)
+	resp, err := http.Get(base + "/v1/jobs/" + status.ID + "/edges")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("edges: %s", resp.Status)
+	}
+	var edges int64
+	var shown int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			fmt.Println("  ", line)
+			continue
+		}
+		if shown < 3 {
+			fmt.Println("  ", line)
+			shown++
+		} else if shown == 3 {
+			fmt.Println("   ...")
+			shown++
+		}
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("streamed %d edges (design promised %d)\n\n", edges, status.TotalEdges)
+
+	// 4. Validate: measured properties must equal the design exactly.
+	fmt.Printf("# curl $KRONSERVE/v1/validate/%s\n", status.ID)
+	var val struct {
+		ExactAgreement bool     `json:"exactAgreement"`
+		MeasuredEdges  int64    `json:"measuredEdges"`
+		Mismatches     []string `json:"mismatches"`
+	}
+	if err := getJSON(base+"/v1/validate/"+status.ID, &val); err != nil {
+		return err
+	}
+	if !val.ExactAgreement {
+		return fmt.Errorf("validation failed: %v", val.Mismatches)
+	}
+	fmt.Printf("validation: exact agreement (measured %d edges)\n", val.MeasuredEdges)
+	return nil
+}
+
+func postJSON(url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

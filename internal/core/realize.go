@@ -77,24 +77,32 @@ func (d *Design) Split(nb int) (b, c *Design, err error) {
 // distribute) as possible. It returns an error when even the single last
 // factor exceeds the bound.
 func (d *Design) SplitBalanced(maxCNNZ int64) (b, c *Design, err error) {
+	nb, err := d.BalancedSplitPoint(maxCNNZ)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.Split(nb)
+}
+
+// BalancedSplitPoint returns the split index nb that SplitBalanced would
+// choose for maxCNNZ: the smallest nb whose C-side suffix has at most
+// maxCNNZ stored entries. Callers that need the index itself (the generator
+// and validator take nb, not the split designs) use this form.
+func (d *Design) BalancedSplitPoint(maxCNNZ int64) (int, error) {
 	if len(d.factors) < 2 {
-		return nil, nil, fmt.Errorf("core: need at least two factors to split")
+		return 0, fmt.Errorf("core: need at least two factors to split")
 	}
 	bound := big.NewInt(maxCNNZ)
 	for nb := 1; nb < len(d.factors); nb++ {
 		cd, err := NewDesign(d.factors[nb:])
 		if err != nil {
-			return nil, nil, err
+			return 0, err
 		}
 		if cd.NNZWithLoops().Cmp(bound) <= 0 {
-			bd, err := NewDesign(d.factors[:nb])
-			if err != nil {
-				return nil, nil, err
-			}
-			return bd, cd, nil
+			return nb, nil
 		}
 	}
-	return nil, nil, fmt.Errorf("core: no suffix of factors fits within %d nonzeros", maxCNNZ)
+	return 0, fmt.Errorf("core: no suffix of factors fits within %d nonzeros", maxCNNZ)
 }
 
 // RealizeRaw materializes the Kronecker product without removing the

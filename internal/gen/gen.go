@@ -9,6 +9,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -101,14 +102,28 @@ type Edge struct {
 // emit is invoked concurrently from np goroutines and must be safe for the
 // worker index it receives; edges arrive in deterministic per-worker order.
 func (g *Generator) Stream(np int, emit func(worker int, e Edge) error) error {
+	return g.StreamContext(context.Background(), np, emit)
+}
+
+// StreamContext is Stream with cooperative cancellation: each worker checks
+// the context between B triples (one B triple fans out to nnz(C) edges, the
+// natural cancellation granularity) and stops with ctx.Err() once it is
+// cancelled. A non-nil error from emit cancels the remaining workers. The
+// long-running job service uses this to abort generation mid-stream; the
+// per-triple check is one atomic load amortized over nnz(C) edges, so
+// Stream simply delegates here with a background context.
+func (g *Generator) StreamContext(ctx context.Context, np int, emit func(worker int, e Edge) error) error {
 	parts, err := parallel.Partition(g.b.NNZ(), np)
 	if err != nil {
 		return err
 	}
 	mC := int64(g.c.NumRows)
 	nC := int64(g.c.NumCols)
-	return parallel.Run(np, func(p int) error {
+	return parallel.RunContext(ctx, np, func(ctx context.Context, p int) error {
 		for _, tb := range g.b.Tr[parts[p].Lo:parts[p].Hi] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rBase := int64(tb.Row) * mC
 			cBase := int64(tb.Col) * nC
 			for _, tc := range g.c.Tr {

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/star"
+)
+
+func testDesign(t *testing.T, points []int, loop star.LoopMode) *core.Design {
+	t.Helper()
+	d, err := core.FromPoints(points, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestStreamContextMatchesStream proves the cancellable path emits exactly
+// the same edge multiset as the original Stream.
+func TestStreamContextMatchesStream(t *testing.T) {
+	d := testDesign(t, []int{3, 4, 5}, star.LoopHub)
+	g, err := New(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(stream func(emit func(w int, e Edge) error) error) map[Edge]int {
+		var mu sync.Mutex
+		seen := make(map[Edge]int)
+		if err := stream(func(w int, e Edge) error {
+			mu.Lock()
+			seen[e]++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+	plain := collect(func(emit func(int, Edge) error) error { return g.Stream(3, emit) })
+	ctxed := collect(func(emit func(int, Edge) error) error {
+		return g.StreamContext(context.Background(), 3, emit)
+	})
+	if len(plain) != len(ctxed) {
+		t.Fatalf("edge sets differ: %d vs %d distinct edges", len(plain), len(ctxed))
+	}
+	for e, n := range plain {
+		if ctxed[e] != n {
+			t.Fatalf("edge %v: count %d vs %d", e, n, ctxed[e])
+		}
+	}
+	if int64(len(plain)) != g.NumEdges() {
+		t.Fatalf("emitted %d distinct edges, design says %d", len(plain), g.NumEdges())
+	}
+}
+
+// TestStreamContextCancelMidStream cancels after the first few edges and
+// checks generation stops early with context.Canceled.
+func TestStreamContextCancelMidStream(t *testing.T) {
+	d := testDesign(t, []int{5, 9, 16}, star.LoopNone)
+	g, err := New(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	emitted := 0
+	err = g.StreamContext(ctx, 4, func(w int, e Edge) error {
+		mu.Lock()
+		emitted++
+		if emitted == 10 {
+			cancel()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(emitted) >= g.NumEdges() {
+		t.Fatalf("emitted all %d edges despite cancellation", emitted)
+	}
+}
+
+// TestStreamContextEmitErrorStopsPeers has one worker fail and checks the
+// run ends with that error rather than generating forever.
+func TestStreamContextEmitErrorStopsPeers(t *testing.T) {
+	d := testDesign(t, []int{5, 9, 16}, star.LoopLeaf)
+	g, err := New(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("sink full")
+	err = g.StreamContext(context.Background(), 4, func(w int, e Edge) error {
+		if w == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+// TestStreamContextAssemblesExactProduct streams with cancellation plumbing
+// in place (but never cancelled) and checks the result equals the serial
+// Kronecker product with the loop removed — the paper's exactness claim.
+func TestStreamContextAssemblesExactProduct(t *testing.T) {
+	d := testDesign(t, []int{3, 4}, star.LoopLeaf)
+	g, err := New(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(g.NumVertices())
+	var mu sync.Mutex
+	var tr []sparse.Triple[int64]
+	err = g.StreamContext(context.Background(), 3, func(w int, e Edge) error {
+		mu.Lock()
+		tr = append(tr, sparse.Triple[int64]{Row: int(e.Row), Col: int(e.Col), Val: e.Val})
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sparse.NewCOO(n, n, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(got, want, sr) {
+		t.Fatal("streamed product differs from serial realization")
+	}
+}

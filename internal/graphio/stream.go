@@ -1,0 +1,127 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// EdgeWriter encodes one edge at a time to an underlying stream, the shape
+// the paper's generator produces: edges exist only in flight, never as a
+// materialized matrix. Implementations buffer internally; Flush pushes
+// everything written so far to the underlying io.Writer (the job service
+// calls it at chunk boundaries so HTTP clients see edges while generation
+// is still running).
+type EdgeWriter interface {
+	// WriteEdge encodes one "row col value" entry (0-based global indices).
+	WriteEdge(row, col, val int64) error
+	// Comment writes a line the matching reader ignores, used for
+	// end-of-stream trailers ("# state=done edges=N"). Implementations
+	// whose format forbids inline comments (MatrixMarket permits them only
+	// in the header) discard the text and return nil.
+	Comment(text string) error
+	// Flush writes any buffered output to the underlying writer.
+	Flush() error
+}
+
+// TSVEdgeWriter streams "row\tcol\tval" lines; the output of a complete
+// stream is readable by ReadTSV. Comments are written as "# ..." lines,
+// which ReadTSV skips.
+type TSVEdgeWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewTSVEdgeWriter returns a TSV edge stream over w.
+func NewTSVEdgeWriter(w io.Writer) *TSVEdgeWriter {
+	return &TSVEdgeWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, 64)}
+}
+
+// WriteEdge appends one tab-separated triple line.
+func (t *TSVEdgeWriter) WriteEdge(row, col, val int64) error {
+	b := t.buf[:0]
+	b = strconv.AppendInt(b, row, 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, col, 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, val, 10)
+	b = append(b, '\n')
+	t.buf = b
+	_, err := t.bw.Write(b)
+	return err
+}
+
+// Comment writes "# text" on its own line.
+func (t *TSVEdgeWriter) Comment(text string) error {
+	_, err := fmt.Fprintf(t.bw, "# %s\n", sanitizeComment(text))
+	return err
+}
+
+// Flush drains the internal buffer.
+func (t *TSVEdgeWriter) Flush() error { return t.bw.Flush() }
+
+// MatrixMarketEdgeWriter streams MatrixMarket coordinate entries. The header
+// — which must declare the total entry count up front — is written at
+// construction from the design-time exact edge count, the paper's point that
+// a designed graph's nnz is known before a single edge is generated. The
+// output of a complete stream is readable by ReadMatrixMarket. Comments are
+// written as "%" lines, which ReadMatrixMarket skips.
+type MatrixMarketEdgeWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewMatrixMarketEdgeWriter writes the banner, any header comments, and the
+// size line for a rows×cols matrix with exactly nnz entries, then returns
+// the entry stream. Comments are only legal in the header block of the
+// coordinate format, so they must be supplied here, up front.
+func NewMatrixMarketEdgeWriter(w io.Writer, rows, cols, nnz int64, comments ...string) (*MatrixMarketEdgeWriter, error) {
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graphio: negative MatrixMarket dimensions %dx%d nnz=%d", rows, cols, nnz)
+	}
+	m := &MatrixMarketEdgeWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, 64)}
+	if _, err := fmt.Fprintln(m.bw, "%%MatrixMarket matrix coordinate integer general"); err != nil {
+		return nil, err
+	}
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(m.bw, "%% %s\n", sanitizeComment(c)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := fmt.Fprintf(m.bw, "%d %d %d\n", rows, cols, nnz); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteEdge appends one coordinate entry, converting to the format's 1-based
+// indices.
+func (m *MatrixMarketEdgeWriter) WriteEdge(row, col, val int64) error {
+	b := m.buf[:0]
+	b = strconv.AppendInt(b, row+1, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, col+1, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, val, 10)
+	b = append(b, '\n')
+	m.buf = b
+	_, err := m.bw.Write(b)
+	return err
+}
+
+// Comment discards the text: the coordinate format permits comments only in
+// the header (pass those to NewMatrixMarketEdgeWriter), and emitting them
+// among the entries would break strict readers. A truncated stream is still
+// detectable without a trailer — the header's nnz states exactly how many
+// entries a complete stream carries.
+func (m *MatrixMarketEdgeWriter) Comment(string) error { return nil }
+
+// Flush drains the internal buffer.
+func (m *MatrixMarketEdgeWriter) Flush() error { return m.bw.Flush() }
+
+// sanitizeComment keeps comments single-line so they cannot inject entries.
+func sanitizeComment(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, "\n", " "), "\r", " ")
+}

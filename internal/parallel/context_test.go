@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunContextCompletes(t *testing.T) {
+	var total atomic.Int64
+	err := RunContext(context.Background(), 8, func(ctx context.Context, p int) error {
+		total.Add(int64(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != 28 {
+		t.Fatalf("processors ran %d total, want 28", got)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := RunContext(ctx, 4, func(ctx context.Context, p int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("processors ran despite pre-cancelled context")
+	}
+}
+
+func TestRunContextCancelStopsWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- RunContext(ctx, 4, func(ctx context.Context, p int) error {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+			<-ctx.Done() // simulate a worker polling between work items
+			return ctx.Err()
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+}
+
+func TestRunContextFirstErrorCancelsPeers(t *testing.T) {
+	sentinel := errors.New("worker 2 failed")
+	var cancelled atomic.Int64
+	err := RunContext(context.Background(), 4, func(ctx context.Context, p int) error {
+		if p == 2 {
+			return sentinel
+		}
+		select {
+		case <-ctx.Done():
+			cancelled.Add(1)
+			return nil // wound down cleanly after peer failure
+		case <-time.After(5 * time.Second):
+			return errors.New("peer was never cancelled")
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if got := cancelled.Load(); got != 3 {
+		t.Fatalf("%d peers observed cancellation, want 3", got)
+	}
+}
+
+func TestRunContextRejectsZeroProcessors(t *testing.T) {
+	if err := RunContext(context.Background(), 0, func(context.Context, int) error { return nil }); err == nil {
+		t.Fatal("want error for np=0")
+	}
+}

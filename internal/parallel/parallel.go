@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -63,6 +64,40 @@ func Run(np int, fn func(p int) error) error {
 		go func(p int) {
 			defer wg.Done()
 			errs[p] = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RunContext is Run with cooperative cancellation: each processor receives a
+// context derived from ctx and should return promptly once it is cancelled.
+// The processors themselves still share no state and never communicate; the
+// context is control-plane only (the long-running service uses it to cancel
+// jobs), so the paper's zero-communication property of the generated work is
+// preserved. The first processor error cancels the derived context, asking
+// the remaining processors to wind down early; the joined errors of all
+// processors are returned. If ctx is already cancelled no processor runs and
+// ctx.Err() is returned.
+func RunContext(ctx context.Context, np int, fn func(ctx context.Context, p int) error) error {
+	if np < 1 {
+		return fmt.Errorf("parallel: need at least one processor, got %d", np)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	wg.Add(np)
+	for p := 0; p < np; p++ {
+		go func(p int) {
+			defer wg.Done()
+			if err := fn(runCtx, p); err != nil {
+				errs[p] = err
+				cancel()
+			}
 		}(p)
 	}
 	wg.Wait()

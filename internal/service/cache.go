@@ -1,0 +1,75 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// designCache is a thread-safe LRU cache of computed design properties,
+// keyed by the canonicalized design (DesignRequest.Key). Property
+// computation for the paper's larger designs takes real work (the
+// decetta-scale design of Figure 7 is "a few minutes on a laptop"), so
+// repeated queries for the same design — the common case for a service
+// fronting a catalog of named graphs — must be O(1).
+type designCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	props *DesignProperties
+}
+
+// newDesignCache returns an LRU cache holding up to capacity entries;
+// capacity < 1 disables caching (every get misses, puts are dropped).
+func newDesignCache(capacity int) *designCache {
+	return &designCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached properties for key, promoting the entry to most
+// recently used.
+func (c *designCache) get(key string) (*DesignProperties, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).props, true
+}
+
+// put stores the properties for key, evicting the least recently used entry
+// when the cache is full.
+func (c *designCache) put(key string, props *DesignProperties) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).props = props
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, props: props})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *designCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

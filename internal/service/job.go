@@ -1,0 +1,484 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/kron"
+)
+
+// JobState is a job's lifecycle position: pending → running → one of
+// done/failed/cancelled.
+type JobState string
+
+const (
+	// StatePending means the job is admitted but generation has not started
+	// (streaming jobs wait here until a consumer attaches to /edges).
+	StatePending JobState = "pending"
+	// StateRunning means generation workers are producing edges.
+	StateRunning JobState = "running"
+	// StateDone means every edge was generated (and, for streaming jobs,
+	// handed to the consumer).
+	StateDone JobState = "done"
+	// StateFailed means generation stopped on an error.
+	StateFailed JobState = "failed"
+	// StateCancelled means the job was cancelled by a client or shutdown.
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sink selects what happens to generated edges.
+const (
+	// SinkStream hands edges to the single /edges consumer through a bounded
+	// channel; generation waits for the consumer to attach and blocks when
+	// the consumer falls behind (backpressure — a slow client throttles the
+	// workers instead of growing a buffer).
+	SinkStream = "stream"
+	// SinkDiscard generates and counts edges without retaining them — the
+	// paper's Figure 3 rate workload as a job.
+	SinkDiscard = "discard"
+)
+
+// batchSize is the number of edges a worker accumulates before handing a
+// batch to the stream channel (or the progress counter). One batch is the
+// unit of backpressure and of cancellation latency.
+const batchSize = 2048
+
+// JobRequest is the wire form of a generation job.
+type JobRequest struct {
+	DesignRequest
+	// Workers is the generation processor count; 0 means the server default.
+	Workers int `json:"workers"`
+	// Split is nb, the number of leading factors forming the B side; 0 lets
+	// the server choose the balanced split.
+	Split int `json:"split"`
+	// Sink is "stream" (default) or "discard".
+	Sink string `json:"sink"`
+}
+
+// Job is one admitted generation job.
+type Job struct {
+	id         string
+	req        JobRequest
+	design     *kron.Design
+	workers    int
+	split      int
+	sink       string
+	totalEdges int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	generated atomic.Int64
+	streamed  atomic.Int64
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	attached bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	// edges carries batches from generation workers to the single stream
+	// consumer; nil for discard jobs. Closed by the run loop on exit.
+	edges chan []kron.Edge
+	// attachCh is closed when the first consumer attaches.
+	attachCh chan struct{}
+	// done is closed when the run loop exits.
+	done chan struct{}
+
+	valMu      sync.Mutex
+	validation *ValidationResponse
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Cancel asks the job to stop; safe to call in any state and more than once.
+func (j *Job) Cancel() { j.cancel() }
+
+// Attach claims the job's edge stream. Exactly one consumer may attach over
+// the job's lifetime; edges exist only in flight and are gone once read.
+func (j *Job) Attach() (<-chan []kron.Edge, error) {
+	if j.sink != SinkStream {
+		return nil, fmt.Errorf("job %s has sink %q; only %q jobs stream edges", j.id, j.sink, SinkStream)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.attached {
+		return nil, fmt.Errorf("job %s already has a stream consumer; edges are not stored for replay", j.id)
+	}
+	j.attached = true
+	close(j.attachCh)
+	return j.edges, nil
+}
+
+// JobStatus is the JSON rendering of a job's state and progress.
+type JobStatus struct {
+	ID             string        `json:"id"`
+	State          JobState      `json:"state"`
+	Design         DesignRequest `json:"design"`
+	Workers        int           `json:"workers"`
+	Split          int           `json:"split"`
+	Sink           string        `json:"sink"`
+	TotalEdges     int64         `json:"totalEdges"`
+	GeneratedEdges int64         `json:"generatedEdges"`
+	StreamedEdges  int64         `json:"streamedEdges"`
+	// Progress is generated/total in [0,1].
+	Progress float64 `json:"progress"`
+	// EdgesPerSec is the job's generation rate while running and its final
+	// average once finished.
+	EdgesPerSec float64    `json:"edgesPerSec"`
+	Error       string     `json:"error,omitempty"`
+	CreatedAt   time.Time  `json:"createdAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	state, err := j.state, j.err
+	created, started, finished := j.created, j.started, j.finished
+	j.mu.Unlock()
+	gen := j.generated.Load()
+	st := JobStatus{
+		ID:             j.id,
+		State:          state,
+		Design:         j.req.DesignRequest,
+		Workers:        j.workers,
+		Split:          j.split,
+		Sink:           j.sink,
+		TotalEdges:     j.totalEdges,
+		GeneratedEdges: gen,
+		StreamedEdges:  j.streamed.Load(),
+		CreatedAt:      created,
+	}
+	if !started.IsZero() {
+		st.StartedAt = &started
+	}
+	if !finished.IsZero() {
+		st.FinishedAt = &finished
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	if j.totalEdges > 0 {
+		st.Progress = float64(gen) / float64(j.totalEdges)
+	}
+	if !started.IsZero() {
+		end := finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		if secs := end.Sub(started).Seconds(); secs > 0 {
+			st.EdgesPerSec = float64(gen) / secs
+		}
+	}
+	return st
+}
+
+// Manager admits, tracks, and runs jobs with bounded concurrency.
+type Manager struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	active int
+	seq    int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ErrBusy is returned by Submit when the concurrent-job limit is reached.
+var ErrBusy = errors.New("service: concurrent job limit reached")
+
+// NewManager returns a Manager using cfg's limits and recording to metrics.
+func NewManager(cfg Config, metrics *Metrics) *Manager {
+	return &Manager{cfg: cfg, metrics: metrics, jobs: make(map[string]*Job)}
+}
+
+// Submit validates the request against the server's admission limits,
+// registers the job, and starts its run loop. Validation is entirely
+// design-side: the closed forms bound the realization cost of both split
+// sides before any memory is committed.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	d, err := req.Build()
+	if err != nil {
+		return nil, err
+	}
+	edges := d.NumEdges()
+	if !edges.IsInt64() {
+		return nil, fmt.Errorf("design has %s edges; streaming jobs need an int64-sized graph (compute properties via /v1/designs instead)", edges)
+	}
+	if d.NumFactors() < 2 {
+		return nil, fmt.Errorf("generation needs at least two factors to split into B ⊗ C")
+	}
+	split := req.Split
+	if split == 0 {
+		split, err = kron.BalancedSplitPoint(d, m.cfg.MaxCNNZ)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bd, cd, err := d.Split(split)
+	if err != nil {
+		return nil, err
+	}
+	if nnz := cd.NNZWithLoops(); !nnz.IsInt64() || nnz.Int64() > m.cfg.MaxCNNZ {
+		return nil, fmt.Errorf("C side of split %d has %s stored entries, over the per-worker bound %d", split, nnz, m.cfg.MaxCNNZ)
+	}
+	if nnz := bd.NNZWithLoops(); !nnz.IsInt64() || nnz.Int64() > m.cfg.MaxBNNZ {
+		return nil, fmt.Errorf("B side of split %d has %s stored entries, over the realization bound %d", split, nnz, m.cfg.MaxBNNZ)
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = min(runtime.GOMAXPROCS(0), m.cfg.MaxWorkers)
+	}
+	if workers < 1 || workers > m.cfg.MaxWorkers {
+		return nil, fmt.Errorf("workers %d outside [1, %d]", workers, m.cfg.MaxWorkers)
+	}
+	sink := req.Sink
+	if sink == "" {
+		sink = SinkStream
+	}
+	if sink != SinkStream && sink != SinkDiscard {
+		return nil, fmt.Errorf("unknown sink %q (want %q or %q)", sink, SinkStream, SinkDiscard)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("service: shutting down")
+	}
+	if m.active >= m.cfg.MaxConcurrentJobs {
+		m.mu.Unlock()
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrBusy
+	}
+	m.active++
+	m.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:         fmt.Sprintf("j%06d", m.seq),
+		req:        req,
+		design:     d,
+		workers:    workers,
+		split:      split,
+		sink:       sink,
+		totalEdges: edges.Int64(),
+		ctx:        ctx,
+		cancel:     cancel,
+		state:      StatePending,
+		created:    time.Now(),
+		attachCh:   make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if sink == SinkStream {
+		j.edges = make(chan []kron.Edge, m.cfg.QueueDepth)
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.metrics.JobsCreated.Add(1)
+	m.metrics.JobsActive.Add(1)
+	go m.run(j)
+	return j, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns all jobs in creation order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Close cancels every job and waits for all run loops to exit; no further
+// submissions are accepted.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	m.wg.Wait()
+}
+
+// run is the job's lifecycle loop: wait for a consumer (streaming jobs),
+// realize the split sides, generate, finish.
+func (m *Manager) run(j *Job) {
+	defer m.wg.Done()
+	defer close(j.done)
+	if j.edges != nil {
+		defer close(j.edges)
+	}
+	if j.sink == SinkStream {
+		// A streaming job with no consumer must not hold an admission slot
+		// forever: unattended jobs are cancelled after AttachTimeout so a
+		// client that submits and walks away cannot wedge the service.
+		timeout := time.NewTimer(m.cfg.AttachTimeout)
+		defer timeout.Stop()
+		select {
+		case <-j.attachCh:
+		case <-timeout.C:
+			m.finish(j, fmt.Errorf("no consumer attached to the edge stream within %v: %w",
+				m.cfg.AttachTimeout, context.DeadlineExceeded))
+			return
+		case <-j.ctx.Done():
+			m.finish(j, j.ctx.Err())
+			return
+		}
+	}
+	g, err := kron.NewGenerator(j.design, j.split)
+	if err != nil {
+		m.finish(j, err)
+		return
+	}
+	if err := j.ctx.Err(); err != nil { // cancelled during realization
+		m.finish(j, err)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	start := j.started
+	j.mu.Unlock()
+	err = m.generate(j, g)
+	m.metrics.GenNanos.Add(time.Since(start).Nanoseconds())
+	m.finish(j, err)
+}
+
+// generate drives the communication-free generator, batching each worker's
+// edges and pushing batches into the stream channel (blocking on a full
+// channel — backpressure) or straight into the progress counters.
+func (m *Manager) generate(j *Job, g *kron.Generator) error {
+	np := j.workers
+	batches := make([][]kron.Edge, np)
+	for p := range batches {
+		batches[p] = make([]kron.Edge, 0, batchSize)
+	}
+	flush := func(p int) error {
+		b := batches[p]
+		if len(b) == 0 {
+			return nil
+		}
+		j.generated.Add(int64(len(b)))
+		m.metrics.EdgesGenerated.Add(int64(len(b)))
+		if j.edges == nil {
+			batches[p] = b[:0]
+			return nil
+		}
+		batches[p] = make([]kron.Edge, 0, batchSize)
+		select {
+		case j.edges <- b:
+			return nil
+		case <-j.ctx.Done():
+			return j.ctx.Err()
+		}
+	}
+	err := g.StreamContext(j.ctx, np, func(p int, e kron.Edge) error {
+		batches[p] = append(batches[p], e)
+		if len(batches[p]) == batchSize {
+			return flush(p)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// All workers have joined; flush the partial batches.
+	for p := range batches {
+		if err := flush(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish records the terminal state exactly once per job. Classification
+// keys on the job's own context, not on errors.Is(err, context.Canceled):
+// when one generation worker fails, RunContext cancels its peers and joins
+// their context.Canceled results with the real error, so matching the
+// joined error would silently relabel genuine failures as cancellations.
+// Only j.ctx carries client- or shutdown-initiated cancellation.
+func (m *Manager) finish(j *Job, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		m.metrics.JobsDone.Add(1)
+	case j.ctx.Err() != nil:
+		j.state = StateCancelled // client- or shutdown-initiated; the cause needs no error text
+		m.metrics.JobsCancelled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.err = err // deadline cancels (attach timeout) keep their explanation
+		m.metrics.JobsCancelled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err
+		m.metrics.JobsFailed.Add(1)
+	}
+	j.mu.Unlock()
+	m.mu.Lock()
+	m.active--
+	m.pruneLocked()
+	m.mu.Unlock()
+	m.metrics.JobsActive.Add(-1)
+}
+
+// pruneLocked evicts the oldest finished jobs beyond MaxJobHistory so a
+// long-lived server's registry stays bounded; unfinished jobs are never
+// evicted. Caller holds m.mu.
+func (m *Manager) pruneLocked() {
+	excess := len(m.order) - m.cfg.MaxJobHistory
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}

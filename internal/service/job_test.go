@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestAttachTimeoutReleasesSlot submits streaming jobs that never get a
+// consumer and checks they cancel themselves after AttachTimeout, freeing
+// their admission slots instead of wedging the service.
+func TestAttachTimeoutReleasesSlot(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrentJobs: 1, AttachTimeout: 50 * time.Millisecond})
+	design := DesignRequest{Points: []int{3, 4}, Loop: "hub"}
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design}))
+
+	st := waitForTerminal(t, ts.URL, job.ID)
+	if st.State != StateCancelled {
+		t.Fatalf("unattended job is %s, want cancelled", st.State)
+	}
+	if st.Error == "" {
+		t.Fatal("attach-timeout cancellation carries no explanation")
+	}
+
+	// The slot is free again.
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design, Sink: SinkDiscard})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-timeout submission: %d, want 201", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func waitForTerminal(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeBody[JobStatus](t, resp)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached a terminal state (now %s)", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobHistoryEviction bounds the registry: old finished jobs vanish,
+// running jobs survive.
+func TestJobHistoryEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentJobs: 8, MaxJobHistory: 2})
+	design := DesignRequest{Points: []int{3, 4}, Loop: "hub"}
+
+	// A long-lived pending job (never attached, generous timeout) must
+	// survive eviction no matter how much traffic follows.
+	pinned := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design}))
+
+	var last string
+	for i := 0; i < 5; i++ {
+		j := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs",
+			JobRequest{DesignRequest: design, Sink: SinkDiscard}))
+		waitForTerminal(t, ts.URL, j.ID)
+		last = j.ID
+	}
+
+	if _, ok := s.manager.Get(pinned.ID); !ok {
+		t.Fatal("running job was evicted")
+	}
+	if _, ok := s.manager.Get(last); !ok {
+		t.Fatal("most recent finished job was evicted")
+	}
+	if got := len(s.manager.List()); got > 3 { // pinned + MaxJobHistory
+		t.Fatalf("registry holds %d jobs, want ≤ 3", got)
+	}
+	// The earliest finished jobs are gone, and their routes 404.
+	resp, err := http.Get(ts.URL + "/v1/jobs/j000002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFinishClassifiesWorkerErrorAsFailed reproduces the joined-error trap:
+// a real worker error arrives mixed with the peers' context.Canceled (from
+// RunContext's peer cancellation), and must still be recorded as a failure,
+// not a cancellation.
+func TestFinishClassifiesWorkerErrorAsFailed(t *testing.T) {
+	m := NewManager(New(Config{}).cfg, &Metrics{})
+	j, err := m.Submit(JobRequest{
+		DesignRequest: DesignRequest{Points: []int{3, 4}, Loop: "hub"},
+		Sink:          SinkDiscard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.done // let the real run finish; we re-classify below
+	boom := errors.New("disk full")
+	j.mu.Lock()
+	j.state = StateRunning // rewind to exercise finish()
+	j.mu.Unlock()
+	m.mu.Lock()
+	m.active++ // finish() will decrement
+	m.mu.Unlock()
+	m.finish(j, errors.Join(boom, context.Canceled, context.Canceled))
+	st := j.Status()
+	if st.State != StateFailed {
+		t.Fatalf("worker error classified as %s, want failed", st.State)
+	}
+	if st.Error == "" || !errors.Is(j.err, boom) {
+		t.Fatalf("original error lost: %q", st.Error)
+	}
+
+	// A genuine client cancel still classifies as cancelled even though the
+	// joined errors look identical.
+	j2, err := m.Submit(JobRequest{
+		DesignRequest: DesignRequest{Points: []int{3, 4}, Loop: "hub"},
+		Sink:          SinkDiscard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.done
+	j2.Cancel() // j2.ctx now reports cancellation
+	j2.mu.Lock()
+	j2.state = StateRunning
+	j2.mu.Unlock()
+	m.mu.Lock()
+	m.active++
+	m.mu.Unlock()
+	m.finish(j2, errors.Join(context.Canceled, context.Canceled))
+	if st := j2.Status(); st.State != StateCancelled {
+		t.Fatalf("client cancel classified as %s, want cancelled", st.State)
+	}
+	m.Close()
+}

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics holds the service's counters and gauges. Everything is a plain
+// atomic so the hot generation path pays one uncontended add per batch; the
+// /metrics endpoint renders the Prometheus text exposition format without
+// pulling in a client library.
+type Metrics struct {
+	JobsCreated   atomic.Int64 // counter: jobs admitted
+	JobsRejected  atomic.Int64 // counter: jobs refused admission (concurrency limit)
+	JobsDone      atomic.Int64 // counter: jobs finished successfully
+	JobsFailed    atomic.Int64 // counter: jobs finished with an error
+	JobsCancelled atomic.Int64 // counter: jobs cancelled by clients or shutdown
+	JobsActive    atomic.Int64 // gauge: jobs admitted and not yet finished
+
+	EdgesGenerated atomic.Int64 // counter: edges produced by generation workers
+	EdgesStreamed  atomic.Int64 // counter: edges encoded to clients
+	GenNanos       atomic.Int64 // counter: cumulative wall-clock nanoseconds of running generation
+
+	DesignsComputed atomic.Int64 // counter: property computations performed
+	CacheHits       atomic.Int64 // counter: design cache hits
+	CacheMisses     atomic.Int64 // counter: design cache misses
+
+	ValidationsRun   atomic.Int64 // counter: validation passes executed
+	ValidationsExact atomic.Int64 // counter: validations reporting exact agreement
+}
+
+// EdgesPerSec returns the service-lifetime aggregate generation rate:
+// total edges generated divided by cumulative active generation time.
+func (m *Metrics) EdgesPerSec() float64 {
+	ns := m.GenNanos.Load()
+	if ns <= 0 {
+		return 0
+	}
+	return float64(m.EdgesGenerated.Load()) / (float64(ns) / 1e9)
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	emit := func(name, help, typ string, value any) error {
+		c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
+		n += int64(c)
+		return err
+	}
+	for _, row := range []struct {
+		name, help, typ string
+		value           any
+	}{
+		{"kronserve_jobs_created_total", "Jobs admitted.", "counter", m.JobsCreated.Load()},
+		{"kronserve_jobs_rejected_total", "Jobs refused admission at the concurrency limit.", "counter", m.JobsRejected.Load()},
+		{"kronserve_jobs_done_total", "Jobs finished successfully.", "counter", m.JobsDone.Load()},
+		{"kronserve_jobs_failed_total", "Jobs finished with an error.", "counter", m.JobsFailed.Load()},
+		{"kronserve_jobs_cancelled_total", "Jobs cancelled.", "counter", m.JobsCancelled.Load()},
+		{"kronserve_jobs_active", "Jobs admitted and not yet finished.", "gauge", m.JobsActive.Load()},
+		{"kronserve_edges_generated_total", "Edges produced by generation workers.", "counter", m.EdgesGenerated.Load()},
+		{"kronserve_edges_streamed_total", "Edges encoded to clients.", "counter", m.EdgesStreamed.Load()},
+		{"kronserve_generation_seconds_total", "Cumulative active generation time.", "counter", float64(m.GenNanos.Load()) / 1e9},
+		{"kronserve_edges_per_second", "Lifetime aggregate generation rate.", "gauge", m.EdgesPerSec()},
+		{"kronserve_designs_computed_total", "Design property computations performed.", "counter", m.DesignsComputed.Load()},
+		{"kronserve_design_cache_hits_total", "Design cache hits.", "counter", m.CacheHits.Load()},
+		{"kronserve_design_cache_misses_total", "Design cache misses.", "counter", m.CacheMisses.Load()},
+		{"kronserve_validations_total", "Validation passes executed.", "counter", m.ValidationsRun.Load()},
+		{"kronserve_validations_exact_total", "Validations reporting exact agreement.", "counter", m.ValidationsExact.Load()},
+	} {
+		if err := emit(row.name, row.help, row.typ, row.value); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,570 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graphio"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding %T: %v", v, err)
+	}
+	return v
+}
+
+func waitForState(t *testing.T, base, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeBody[JobStatus](t, resp)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached terminal state %s (err %q), want %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServiceFullLoop drives the complete paper workflow over HTTP: submit a
+// design (exact properties, no generation), start a ≥2-worker generation
+// job, stream every edge chunked, and validate the finished job to exact
+// agreement. The streamed edges are also checked entry-for-entry against
+// the serial Kronecker realization.
+func TestServiceFullLoop(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5, 9}, Loop: "hub"}
+
+	// 1. Design: exact properties without generating.
+	resp := postJSON(t, ts.URL+"/v1/designs", design)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/designs: %d", resp.StatusCode)
+	}
+	props := decodeBody[DesignProperties](t, resp)
+	d, err := design.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := d.NumEdges().String()
+	if props.Edges != wantEdges {
+		t.Fatalf("designs endpoint says %s edges, closed form says %s", props.Edges, wantEdges)
+	}
+	if props.Cached {
+		t.Fatal("first design query claims to be cached")
+	}
+
+	// Same design again (different factor order) must hit the cache.
+	resp = postJSON(t, ts.URL+"/v1/designs", DesignRequest{Points: []int{9, 5, 4, 3}, Loop: "hub"})
+	cached := decodeBody[DesignProperties](t, resp)
+	if !cached.Cached {
+		t.Fatal("reordered design query missed the cache")
+	}
+	if cached.Edges != wantEdges {
+		t.Fatalf("cached edges %s != %s", cached.Edges, wantEdges)
+	}
+
+	// 2. Generate: start a job with ≥2 workers.
+	resp = postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design, Workers: 4, Split: 2})
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/jobs: %d: %s", resp.StatusCode, body)
+	}
+	job := decodeBody[JobStatus](t, resp)
+	if job.State != StatePending {
+		t.Fatalf("fresh streaming job is %s, want pending (waits for consumer)", job.State)
+	}
+	if job.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", job.Workers)
+	}
+
+	// 3. Stream: read every edge, chunked.
+	edgeResp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edgeResp.Body.Close()
+	if edgeResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET edges: %d", edgeResp.StatusCode)
+	}
+	if got := edgeResp.Header.Get("Content-Type"); got != "text/tab-separated-values" {
+		t.Fatalf("content type %q", got)
+	}
+	raw, err := io.ReadAll(edgeResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "# end state=done") {
+		t.Fatalf("stream missing done trailer; tail: %q", tail(string(raw), 200))
+	}
+	n := int(d.NumVertices().Int64())
+	got, err := graphio.ReadTSV(bytes.NewReader(raw), n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got.NNZ()) != d.NumEdges().Int64() {
+		t.Fatalf("streamed %d edges, design says %s", got.NNZ(), d.NumEdges())
+	}
+	want, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(got, want, semiring.PlusTimesInt64()) {
+		t.Fatal("streamed edges differ from the serial Kronecker realization")
+	}
+
+	// 4. Status: finished job reports full progress.
+	st := waitForState(t, ts.URL, job.ID, StateDone)
+	if st.GeneratedEdges != st.TotalEdges || st.StreamedEdges != st.TotalEdges {
+		t.Fatalf("generated %d streamed %d of %d", st.GeneratedEdges, st.StreamedEdges, st.TotalEdges)
+	}
+	if st.Progress != 1 {
+		t.Fatalf("progress %v, want 1", st.Progress)
+	}
+
+	// 5. Validate: the paper's exact-agreement check as an endpoint.
+	vresp, err := http.Get(ts.URL + "/v1/validate/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vresp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(vresp.Body)
+		t.Fatalf("GET validate: %d: %s", vresp.StatusCode, body)
+	}
+	val := decodeBody[ValidationResponse](t, vresp)
+	if !val.ExactAgreement {
+		t.Fatalf("validation mismatches: %v", val.Mismatches)
+	}
+	if val.PredictedEdges != wantEdges || val.MeasuredEdges != d.NumEdges().Int64() {
+		t.Fatalf("validation edges: predicted %s measured %d want %s",
+			val.PredictedEdges, val.MeasuredEdges, wantEdges)
+	}
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// TestServiceMatrixMarketStream checks the second encoder: a complete
+// MatrixMarket stream whose up-front header carries the design-time exact
+// edge count, parseable by the repo's own reader.
+func TestServiceMatrixMarketStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4}, Loop: "leaf"}
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design, Workers: 2, Split: 1})
+	job := decodeBody[JobStatus](t, resp)
+
+	edgeResp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges?format=matrixmarket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edgeResp.Body.Close()
+	raw, err := io.ReadAll(edgeResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := fmt.Sprintf("%s %s %s", d.NumVertices(), d.NumVertices(), d.NumEdges())
+	if !strings.Contains(string(raw), wantHeader) {
+		t.Fatalf("MatrixMarket size line %q missing from stream:\n%s", wantHeader, string(raw))
+	}
+	got, err := graphio.ReadMatrixMarket(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(got, want, semiring.PlusTimesInt64()) {
+		t.Fatal("MatrixMarket stream differs from serial realization")
+	}
+}
+
+// TestServiceConcurrentStreamsAndCancel runs two jobs streaming
+// simultaneously, cancels one mid-stream with DELETE, and checks the cancel
+// lands promptly, the survivor completes exactly, and no goroutines leak.
+func TestServiceConcurrentStreamsAndCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		s, ts := newTestServer(t, Config{QueueDepth: 2})
+		// Big enough that generation cannot finish ahead of the bounded
+		// queue: the victim must still be mid-stream when DELETE arrives.
+		big := DesignRequest{Points: []int{3, 4, 5, 9, 16}, Loop: "hub"}
+		small := DesignRequest{Points: []int{3, 4, 5}, Loop: "none"}
+
+		victim := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: big, Workers: 3}))
+		survivor := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: small, Workers: 2}))
+
+		vResp, err := http.Get(ts.URL + "/v1/jobs/" + victim.ID + "/edges")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer vResp.Body.Close()
+		sResp, err := http.Get(ts.URL + "/v1/jobs/" + survivor.ID + "/edges")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sResp.Body.Close()
+
+		// Both jobs are live at once: read a little from each interleaved.
+		vr := bufio.NewReader(vResp.Body)
+		sr := bufio.NewReader(sResp.Body)
+		for i := 0; i < 50; i++ {
+			if _, err := vr.ReadString('\n'); err != nil {
+				t.Fatalf("victim stream: %v", err)
+			}
+		}
+		if _, err := sr.ReadString('\n'); err != nil {
+			t.Fatalf("survivor stream: %v", err)
+		}
+		mid, _ := s.manager.Get(victim.ID)
+		if st := mid.Status(); st.State != StateRunning {
+			t.Fatalf("victim is %s mid-stream, want running", st.State)
+		}
+
+		// Cancel the victim mid-stream.
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+victim.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delResp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if delResp.StatusCode != http.StatusAccepted {
+			t.Fatalf("DELETE: %d", delResp.StatusCode)
+		}
+		delResp.Body.Close()
+
+		// The victim's stream must end promptly (channel closed → EOF).
+		done := make(chan error, 1)
+		go func() {
+			_, err := io.Copy(io.Discard, vr)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("draining cancelled stream: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled job's stream did not terminate")
+		}
+		st := waitForState(t, ts.URL, victim.ID, StateCancelled)
+		if st.GeneratedEdges >= st.TotalEdges {
+			t.Fatalf("victim generated all %d edges despite cancellation", st.TotalEdges)
+		}
+
+		// The survivor still streams to completion, exactly.
+		rest, err := io.ReadAll(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(rest), "# end state=done") {
+			t.Fatalf("survivor missing done trailer; tail: %q", tail(string(rest), 200))
+		}
+		sSt := waitForState(t, ts.URL, survivor.ID, StateDone)
+		if sSt.StreamedEdges != sSt.TotalEdges {
+			t.Fatalf("survivor streamed %d of %d", sSt.StreamedEdges, sSt.TotalEdges)
+		}
+		http.DefaultClient.CloseIdleConnections()
+	}()
+
+	// All job workers, run loops, and HTTP plumbing must be gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServiceClientDisconnectCancelsJob drops the sole stream consumer and
+// checks the job is cancelled rather than left blocked on a full channel.
+func TestServiceClientDisconnectCancelsJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 2})
+	design := DesignRequest{Points: []int{3, 4, 5, 9, 16}, Loop: "hub"}
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design, Workers: 2}))
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() // client walks away mid-stream
+
+	j, _ := s.manager.Get(job.ID)
+	select {
+	case <-j.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job still running after its only consumer disconnected")
+	}
+	if st := j.Status(); st.State != StateCancelled {
+		t.Fatalf("job is %s after consumer disconnect, want cancelled", st.State)
+	}
+}
+
+// TestServiceAdmissionControl fills the job slots and checks the next
+// submission gets 429, then frees a slot and resubmits successfully.
+func TestServiceAdmissionControl(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentJobs: 2})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+	req := JobRequest{DesignRequest: design, Workers: 1}
+
+	a := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", req))
+	b := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", req))
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third job: %d, want 429", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := s.Metrics().JobsRejected.Load(); got != 1 {
+		t.Fatalf("JobsRejected = %d, want 1", got)
+	}
+
+	// Cancelling one frees its slot (streaming jobs pend until attached, so
+	// cancel is the quickest release).
+	httpDelete(t, ts.URL+"/v1/jobs/"+a.ID)
+	waitForState(t, ts.URL, a.ID, StateCancelled)
+	c := postJSON(t, ts.URL+"/v1/jobs", req)
+	if c.StatusCode != http.StatusCreated {
+		t.Fatalf("post-release job: %d, want 201", c.StatusCode)
+	}
+	c.Body.Close()
+	httpDelete(t, ts.URL+"/v1/jobs/"+b.ID)
+}
+
+func httpDelete(t *testing.T, url string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// TestServiceDiscardJob checks the generate-and-count sink: no consumer, no
+// stream, progress and rate still reported.
+func TestServiceDiscardJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5, 9}, Loop: "leaf"}
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs",
+		JobRequest{DesignRequest: design, Workers: 2, Sink: SinkDiscard}))
+
+	st := waitForState(t, ts.URL, job.ID, StateDone)
+	if st.GeneratedEdges != st.TotalEdges {
+		t.Fatalf("generated %d of %d", st.GeneratedEdges, st.TotalEdges)
+	}
+	if st.StreamedEdges != 0 {
+		t.Fatalf("discard job streamed %d edges", st.StreamedEdges)
+	}
+
+	// Discard jobs have no edge stream.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("edges on discard job: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServiceRejections covers the 4xx surfaces: bad designs, oversized
+// designs, double attach, validating an unfinished job, unknown ids.
+func TestServiceRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	for name, body := range map[string]any{
+		"empty points":  DesignRequest{Loop: "hub"},
+		"bad loop":      DesignRequest{Points: []int{3, 4}, Loop: "ring"},
+		"tiny star":     DesignRequest{Points: []int{1, 4}, Loop: "hub"},
+		"unknown field": map[string]any{"points": []int{3, 4}, "loop": "hub", "bogus": 1},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/designs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// A decetta-scale design computes fine as a design...
+	huge := DesignRequest{Points: []int{3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641}, Loop: "leaf"}
+	resp := postJSON(t, ts.URL+"/v1/designs", huge)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("huge design properties: %d, want 200", resp.StatusCode)
+	}
+	props := decodeBody[DesignProperties](t, resp)
+	if len(props.Edges) < 30 {
+		t.Fatalf("decetta design edges %s, expected ~10^30", props.Edges)
+	}
+	// ...but cannot be realized as a job.
+	resp = postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: huge})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge job: %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Single-factor designs cannot split.
+	resp = postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: DesignRequest{Points: []int{5}, Loop: "hub"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("single-factor job: %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown job id → 404 on every job route.
+	for _, url := range []string{"/v1/jobs/nope", "/v1/jobs/nope/edges", "/v1/validate/nope"} {
+		r, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404", url, r.StatusCode)
+		}
+		r.Body.Close()
+	}
+
+	// Validation requires a done job; a pending one conflicts.
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design}))
+	r, err := http.Get(ts.URL + "/v1/validate/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("validate pending job: %d, want 409", r.StatusCode)
+	}
+	r.Body.Close()
+
+	// Two consumers cannot share one stream.
+	first, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Body.Close()
+	second, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.StatusCode != http.StatusConflict {
+		t.Fatalf("second attach: %d, want 409", second.StatusCode)
+	}
+	second.Body.Close()
+	if _, err := io.Copy(io.Discard, first.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceHealthAndMetrics checks the operational endpoints.
+func TestServiceHealthAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decodeBody[map[string]string](t, resp)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	// Drive one tiny discard job so the counters move.
+	design := DesignRequest{Points: []int{3, 4}, Loop: "hub"}
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs",
+		JobRequest{DesignRequest: design, Workers: 2, Sink: SinkDiscard}))
+	waitForState(t, ts.URL, job.ID, StateDone)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"kronserve_jobs_created_total 1",
+		"kronserve_jobs_done_total 1",
+		"kronserve_jobs_active 0",
+		"kronserve_edges_generated_total " + d.NumEdges().String(),
+		"kronserve_edges_per_second",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/graphio"
+	"repro/kron"
+)
+
+// Edge stream formats accepted by GET /v1/jobs/{id}/edges?format=...
+const (
+	// FormatTSV streams 0-based "row\tcol\tval" lines (default).
+	FormatTSV = "tsv"
+	// FormatMatrixMarket streams MatrixMarket coordinate entries with a
+	// header declaring the design-time exact edge count.
+	FormatMatrixMarket = "matrixmarket"
+)
+
+// checkFormat validates the requested format without writing anything, so
+// a bad request can be rejected before the job's one stream is claimed.
+func checkFormat(format string, j *Job) error {
+	switch format {
+	case "", FormatTSV:
+		return nil
+	case FormatMatrixMarket, "mm":
+		if n := j.design.NumVertices(); !n.IsInt64() {
+			return fmt.Errorf("vertex count %s exceeds MatrixMarket int64 header range", n)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want %q or %q)", format, FormatTSV, FormatMatrixMarket)
+	}
+}
+
+// newEdgeWriter builds the encoder for a checkFormat-validated format and
+// sets the response content type. The MatrixMarket header — banner, the
+// job's provenance comment, size line — is written immediately: because the
+// design's edge count is exact before generation, the service can emit a
+// complete, well-formed header for a graph that does not exist yet.
+func newEdgeWriter(w http.ResponseWriter, format string, j *Job, header string) (graphio.EdgeWriter, error) {
+	switch format {
+	case FormatMatrixMarket, "mm":
+		w.Header().Set("Content-Type", "text/plain; charset=us-ascii")
+		n := j.design.NumVertices().Int64()
+		return graphio.NewMatrixMarketEdgeWriter(w, n, n, j.totalEdges, header)
+	default:
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		ew := graphio.NewTSVEdgeWriter(w)
+		if err := ew.Comment(header); err != nil {
+			return nil, err
+		}
+		return ew, nil
+	}
+}
+
+// flushEvery bounds how many edges are encoded between flushes so clients
+// see edges while generation is still running (chunked transfer).
+const flushEvery = 8 * batchSize
+
+// streamJob copies the job's edge batches to the HTTP response until the
+// stream ends, the client disconnects, or encoding fails. It owns the
+// consumer side of the backpressure contract: the channel is bounded, the
+// workers block when it is full, and this loop drains it only as fast as
+// the client accepts bytes. A client that disconnects mid-stream cancels
+// the job — edges are not stored, so an abandoned stream can never be
+// resumed and finishing it would be pure waste.
+func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, format string) {
+	if err := checkFormat(format, j); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ch, err := j.Attach()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	header := fmt.Sprintf("kronserve job %s design %s workers %d totalEdges %d",
+		j.id, j.req.Key(), j.workers, j.totalEdges)
+	ew, err := newEdgeWriter(w, format, j, header)
+	if err != nil {
+		// Attach succeeded, so generation is now waking up; cancel it since
+		// this (sole possible) consumer is bailing out.
+		j.Cancel()
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() error {
+		if err := ew.Flush(); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if err := flush(); err != nil {
+		j.Cancel()
+		return
+	}
+	sinceFlush := 0
+	write := func(batch []kron.Edge) error {
+		for _, e := range batch {
+			if err := ew.WriteEdge(e.Row, e.Col, e.Val); err != nil {
+				return err
+			}
+		}
+		j.streamed.Add(int64(len(batch)))
+		s.metrics.EdgesStreamed.Add(int64(len(batch)))
+		sinceFlush += len(batch)
+		if sinceFlush >= flushEvery {
+			sinceFlush = 0
+			return flush()
+		}
+		return nil
+	}
+	clientGone := r.Context().Done()
+	for {
+		select {
+		case batch, ok := <-ch:
+			if !ok {
+				// Generation finished (or was cancelled); report how it ended
+				// in a trailer comment the format's reader ignores.
+				st := j.Status()
+				_ = ew.Comment(fmt.Sprintf("end state=%s generated=%d streamed=%d",
+					st.State, st.GeneratedEdges, st.StreamedEdges))
+				_ = flush()
+				return
+			}
+			if err := write(batch); err != nil {
+				// Client write failure: the sole consumer is gone.
+				j.Cancel()
+				return
+			}
+		case <-clientGone:
+			j.Cancel()
+			return
+		}
+	}
+}
+
+// copyMetrics writes the metrics exposition; split out so handlers.go stays
+// routing-only.
+func (s *Service) writeMetrics(w io.Writer) error {
+	_, err := s.metrics.WriteTo(w)
+	return err
+}

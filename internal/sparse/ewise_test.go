@@ -102,61 +102,3 @@ func TestExtract(t *testing.T) {
 		t.Error("col index out of bounds accepted")
 	}
 }
-
-func TestReduceRowsCols(t *testing.T) {
-	m := FromDense([][]int64{{1, 2, 0}, {0, 0, 3}}, srI)
-	rows := ReduceRows(m, srI)
-	if rows[0] != 3 || rows[1] != 3 {
-		t.Errorf("ReduceRows = %v, want [3 3]", rows)
-	}
-	cols := ReduceCols(m, srI)
-	if cols[0] != 1 || cols[1] != 2 || cols[2] != 3 {
-		t.Errorf("ReduceCols = %v, want [1 2 3]", cols)
-	}
-	if got := ReduceAll(m, srI); got != 6 {
-		t.Errorf("ReduceAll = %d, want 6", got)
-	}
-}
-
-func TestRowNNZCountsAndHistogram(t *testing.T) {
-	// Star graph with 3 leaves: hub degree 3, leaves degree 1.
-	m := FromDense([][]int64{
-		{0, 1, 1, 1},
-		{1, 0, 0, 0},
-		{1, 0, 0, 0},
-		{1, 0, 0, 0},
-	}, srI)
-	counts := RowNNZCounts(m, srI)
-	if counts[0] != 3 || counts[1] != 1 {
-		t.Errorf("RowNNZCounts = %v", counts)
-	}
-	h := DegreeHistogram(m, srI)
-	if h[1] != 3 || h[3] != 1 || len(h) != 2 {
-		t.Errorf("DegreeHistogram = %v, want map[1:3 3:1]", h)
-	}
-}
-
-func TestDegreeHistogramSkipsEmptyRows(t *testing.T) {
-	m := MustCOO(5, 5, []Triple[int64]{tri(0, 1, 1)})
-	h := DegreeHistogram(m, srI)
-	if len(h) != 1 || h[1] != 1 {
-		t.Errorf("histogram = %v, want only degree-1 row", h)
-	}
-}
-
-func TestTraceHelpers(t *testing.T) {
-	m := FromDense([][]int64{{2, 1}, {0, 5}}, srI)
-	if got := Trace(m, srI); got != 7 {
-		t.Errorf("Trace = %d, want 7", got)
-	}
-	if got := TraceCSR(m.ToCSR(srI), srI); got != 7 {
-		t.Errorf("TraceCSR = %d, want 7", got)
-	}
-	rect := FromDense([][]int64{{3, 0, 0}}, srI)
-	if got := Trace(rect, srI); got != 3 {
-		t.Errorf("rectangular Trace = %d, want 3", got)
-	}
-	if got := TraceCSR(rect.ToCSR(srI), srI); got != 3 {
-		t.Errorf("rectangular TraceCSR = %d, want 3", got)
-	}
-}

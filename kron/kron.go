@@ -84,12 +84,37 @@ type Generator = gen.Generator
 type Edge = gen.Edge
 
 // NewGenerator splits the design after its first nb factors into A = B ⊗ C
-// and realizes both sides, ready to generate at any worker count.
+// and realizes both sides, ready to generate at any worker count. The
+// returned Generator supports both Stream (run to completion) and
+// StreamContext (cooperatively cancellable, for long-running services).
 func NewGenerator(d *Design, nb int) (*Generator, error) { return gen.New(d, nb) }
+
+// DefaultMaxCNNZ is the default bound on the C side's stored entries when a
+// split point is chosen automatically: C must "fit in the memory of any one
+// processor" (Section V); 2^20 entries keeps the per-worker fan-out table
+// comfortably in cache-friendly territory while leaving B with the bulk of
+// the distributable triples.
+const DefaultMaxCNNZ = 1 << 20
+
+// BalancedSplitPoint returns the smallest split index nb whose C-side suffix
+// holds at most maxCNNZ stored entries — the automatic split the job service
+// uses when a request does not pin nb. Pass maxCNNZ <= 0 for DefaultMaxCNNZ.
+func BalancedSplitPoint(d *Design, maxCNNZ int64) (int, error) {
+	if maxCNNZ <= 0 {
+		maxCNNZ = DefaultMaxCNNZ
+	}
+	return d.BalancedSplitPoint(maxCNNZ)
+}
 
 // ValidationReport compares a design's predictions with measurements taken
 // from its generated edges.
 type ValidationReport = validate.Report
+
+// MaxValidationEdges is the largest edge count Validate will realize in
+// memory; bigger designs are validated through the design-side closed forms
+// alone. Services should check a design against this bound before accepting
+// a validation request.
+const MaxValidationEdges = validate.MaxRealizableEdges
 
 // Validate generates the design (split after nb factors) with np workers,
 // measures vertices, edges, degree distribution, and triangles from the

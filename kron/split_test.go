@@ -1,0 +1,74 @@
+package kron
+
+import "testing"
+
+func TestBalancedSplitPoint(t *testing.T) {
+	// Paper's trillion-edge factors: suffix nnz shrinks as nb grows.
+	d, err := FromPoints([]int{3, 4, 5, 9, 16, 25, 81, 256}, LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := BalancedSplitPoint(d, 0) // default bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb < 1 || nb >= d.NumFactors() {
+		t.Fatalf("split point %d outside (0, %d)", nb, d.NumFactors())
+	}
+	bd, cd, err := d.Split(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nnz := cd.NNZWithLoops(); !nnz.IsInt64() || nnz.Int64() > DefaultMaxCNNZ {
+		t.Fatalf("C side nnz %s exceeds default bound %d", nnz, int64(DefaultMaxCNNZ))
+	}
+	// Smallest such nb: the previous split's C side must NOT fit.
+	if nb > 1 {
+		_, cPrev, err := d.Split(nb - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nnz := cPrev.NNZWithLoops(); nnz.IsInt64() && nnz.Int64() <= DefaultMaxCNNZ {
+			t.Fatalf("split %d already fit (%s nnz); BalancedSplitPoint returned %d", nb-1, nnz, nb)
+		}
+	}
+	_ = bd
+
+	// A tight custom bound moves the split later.
+	nbTight, err := BalancedSplitPoint(d, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbTight < nb {
+		t.Fatalf("tighter bound gave earlier split %d < %d", nbTight, nb)
+	}
+
+	// An impossible bound errors.
+	if _, err := BalancedSplitPoint(d, 1); err == nil {
+		t.Fatal("want error when no suffix fits")
+	}
+
+	// Single-factor designs cannot split.
+	single, err := FromPoints([]int{5}, LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BalancedSplitPoint(single, 0); err == nil {
+		t.Fatal("want error for single-factor design")
+	}
+}
+
+func TestMaxValidationEdgesGuard(t *testing.T) {
+	d, err := FromPoints([]int{3, 4, 5, 9, 16, 25, 81, 256}, LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trillion-edge design is over the bound, so Validate must refuse
+	// rather than try to realize it.
+	if d.NumEdges().Int64() <= MaxValidationEdges {
+		t.Fatalf("test design unexpectedly under MaxValidationEdges=%d", int64(MaxValidationEdges))
+	}
+	if _, err := Validate(d, 6, 2); err == nil {
+		t.Fatal("Validate accepted a design over MaxValidationEdges")
+	}
+}
