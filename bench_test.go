@@ -4,6 +4,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -105,6 +106,58 @@ func BenchmarkFig3EdgeRate(b *testing.B) {
 			b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/s")
 		})
 	}
+}
+
+// paddedCount is a per-worker counter slot padded to a cache line so the
+// stream benchmarks measure API overhead, not false sharing.
+type paddedCount struct {
+	n int64
+	_ [56]byte
+}
+
+// BenchmarkStreamPerEdgeFig3 measures the per-edge streaming API on the
+// Figure-3 workload: one indirect call + error check per generated edge.
+func BenchmarkStreamPerEdgeFig3(b *testing.B) {
+	g := fig3Generator(b)
+	np := runtime.GOMAXPROCS(0)
+	counts := make([]paddedCount, np)
+	var edges int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := g.Stream(np, func(p int, e kron.Edge) error {
+			counts[p].n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += g.NumEdges()
+	}
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkStreamBatchesFig3 measures the batch-native streaming path on the
+// same workload: the inner loop fills a reusable per-worker buffer and the
+// callback fires once per batch.
+func BenchmarkStreamBatchesFig3(b *testing.B) {
+	g := fig3Generator(b)
+	np := runtime.GOMAXPROCS(0)
+	counts := make([]paddedCount, np)
+	var edges int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := g.StreamBatches(context.Background(), np, 0, func(p int, batch []kron.Edge) error {
+			counts[p].n += int64(len(batch))
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += g.NumEdges()
+	}
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/s")
 }
 
 // BenchmarkFig4TrillionDesign measures computing every exact property of the

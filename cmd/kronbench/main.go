@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -204,6 +205,39 @@ func fig3(maxWorkers int) error {
 	recordBench("edgesPerGeneration", g.NumEdges())
 	recordBench("perCoreEdgesPerSec", perCore)
 	recordBench("measuredScaling", measured)
+
+	// Per-edge vs batch-native streaming on the same workload: the per-edge
+	// API pays an indirect call and error check per edge; StreamBatches pays
+	// one call per batch. Both consumers count into padded per-worker slots
+	// so the measurement isolates the API overhead, not cache-line sharing.
+	type paddedCount struct {
+		n int64
+		_ [56]byte
+	}
+	counts := make([]paddedCount, maxWorkers)
+	start := time.Now()
+	if err := g.Stream(maxWorkers, func(p int, e gen.Edge) error {
+		counts[p].n++
+		return nil
+	}); err != nil {
+		return err
+	}
+	perEdgeRate := float64(g.NumEdges()) / time.Since(start).Seconds()
+	start = time.Now()
+	if err := g.StreamBatches(context.Background(), maxWorkers, 0, func(p int, batch []gen.Edge) error {
+		counts[p].n += int64(len(batch))
+		return nil
+	}); err != nil {
+		return err
+	}
+	batchRate := float64(g.NumEdges()) / time.Since(start).Seconds()
+	fmt.Printf("\nstreaming API comparison at %d workers (same workload):\n", maxWorkers)
+	fmt.Printf("%-10s %-14s\n", "path", "edges/s")
+	fmt.Printf("%-10s %-14.3e\n", "per-edge", perEdgeRate)
+	fmt.Printf("%-10s %-14.3e (%.2fx)\n", "batch", batchRate, batchRate/perEdgeRate)
+	recordBench("perEdgeStreamEdgesPerSec", perEdgeRate)
+	recordBench("batchStreamEdgesPerSec", batchRate)
+	recordBench("batchSpeedup", batchRate/perEdgeRate)
 	model := parallel.ScalingModel{PerCoreRate: perCore}
 	for _, pt := range model.Series([]int{64, 1024, 4096, 41472}) {
 		fmt.Printf("%-8d %-14.3e modeled (linear, zero communication)\n", pt.Cores, pt.EdgesPerSec)

@@ -1,17 +1,21 @@
 // Command krongen generates a designed Kronecker graph in parallel with no
 // inter-worker communication (Section V) and either reports the generation
-// rate or writes one edge-list chunk per worker.
+// rate, streams one TSV chunk per worker through the batch-native path, or
+// materializes one edge-list chunk per worker.
 //
 // Usage:
 //
 //	krongen -mhat 3,4,5,9,16 -loop hub -split 3 -workers 4 -count
+//	krongen -mhat 3,4,5 -loop none -split 2 -workers 2 -stream /tmp/graph
 //	krongen -mhat 3,4,5 -loop none -split 2 -workers 2 -out /tmp/graph
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cliutil"
@@ -36,6 +40,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 1, "parallel workers (simulated processors)")
 	count := fs.Bool("count", false, "stream-generate and report the edge rate instead of storing")
 	out := fs.String("out", "", "directory to write per-worker edge chunks (prefix 'edges')")
+	stream := fs.String("stream", "", "directory to stream per-worker TSV chunks through the batch-native path (never materializes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,8 +75,11 @@ func run(args []string) error {
 			total, dur, *workers, rate, checksum)
 		return nil
 	}
+	if *stream != "" {
+		return streamChunks(g, *workers, *stream)
+	}
 	if *out == "" {
-		return fmt.Errorf("choose -count or -out DIR")
+		return fmt.Errorf("choose -count, -stream DIR, or -out DIR")
 	}
 	parts, err := g.Materialize(*workers)
 	if err != nil {
@@ -91,5 +99,53 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d chunks under %s\n", len(paths), *out)
+	return nil
+}
+
+// streamChunks writes one TSV edge chunk per worker through StreamBatches:
+// each worker owns its file and encodes whole batches with WriteEdges, so
+// the graph is never materialized and no state is shared between workers.
+func streamChunks(g *gen.Generator, workers int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := make([]*os.File, workers)
+	writers := make([]*graphio.TSVEdgeWriter, workers)
+	// Error-path cleanup only: the success path closes each file once, with
+	// the error checked, and nils its slot.
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	for p := range files {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("edges_%04d.tsv", p)))
+		if err != nil {
+			return err
+		}
+		files[p] = f
+		writers[p] = graphio.NewTSVEdgeWriter(f)
+	}
+	start := time.Now()
+	err := g.StreamBatches(context.Background(), workers, 0, func(p int, batch []gen.Edge) error {
+		return writers[p].WriteEdges(batch)
+	})
+	if err != nil {
+		return err
+	}
+	for p, w := range writers {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if err := files[p].Close(); err != nil {
+			return err
+		}
+		files[p] = nil
+	}
+	dur := time.Since(start)
+	fmt.Printf("streamed %d edges to %d chunks under %s in %v (%.3e edges/s)\n",
+		g.NumEdges(), workers, dir, dur, float64(g.NumEdges())/dur.Seconds())
 	return nil
 }

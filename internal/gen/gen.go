@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/graphio"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
 	"repro/internal/star"
@@ -90,51 +91,115 @@ func (g *Generator) BNNZ() int { return g.b.NNZ() }
 // CNNZ returns nnz(C), each worker's per-triple fan-out.
 func (g *Generator) CNNZ() int { return g.c.NNZ() }
 
-// Edge is one generated directed adjacency entry in global coordinates.
-type Edge struct {
-	Row, Col int64
-	Val      int64
-}
+// Edge is one generated directed adjacency entry in global coordinates. It
+// aliases graphio.Edge so generated batches flow into the edge encoders
+// without conversion or copying.
+type Edge = graphio.Edge
 
-// Stream generates the graph with np workers, calling emit once per worker
-// with that worker's edge sequence callback. Each worker enumerates its
-// slice of B triples against all of C; the removed self-loop is skipped.
-// emit is invoked concurrently from np goroutines and must be safe for the
-// worker index it receives; edges arrive in deterministic per-worker order.
-func (g *Generator) Stream(np int, emit func(worker int, e Edge) error) error {
-	return g.StreamContext(context.Background(), np, emit)
-}
+// DefaultBatchSize is the per-worker edge batch size StreamBatches uses when
+// the caller passes batchSize <= 0: large enough to amortize the per-batch
+// callback to nothing, small enough that a batch stays cache-resident.
+const DefaultBatchSize = 2048
 
-// StreamContext is Stream with cooperative cancellation: each worker checks
-// the context between B triples (one B triple fans out to nnz(C) edges, the
-// natural cancellation granularity) and stops with ctx.Err() once it is
-// cancelled. A non-nil error from emit cancels the remaining workers. The
-// long-running job service uses this to abort generation mid-stream; the
-// per-triple check is one atomic load amortized over nnz(C) edges, so
-// Stream simply delegates here with a background context.
-func (g *Generator) StreamContext(ctx context.Context, np int, emit func(worker int, e Edge) error) error {
+// compatBatchSize is the internal batch the per-edge Stream/StreamContext
+// shims run on. Smaller than DefaultBatchSize so per-edge callers keep
+// roughly the cancellation latency the old per-B-triple context check gave
+// them.
+const compatBatchSize = 512
+
+// StreamBatches is the batch-native hot path: it generates the graph with np
+// workers, filling a reusable per-worker edge buffer directly in the inner
+// B-triple × C loop and handing it to emit once per batchSize edges
+// (batchSize <= 0 selects DefaultBatchSize). The context is checked once per
+// batch, and the removed-self-loop test runs only for the single B triple
+// whose row and column blocks can contain the loop — every other triple's
+// fan-out is a straight fill. emit is invoked concurrently from np
+// goroutines with deterministic per-worker batch order; the batch slice is
+// reused after emit returns, so an emit that retains edges beyond the call
+// must copy them. A non-nil error from emit (or a cancelled ctx) stops the
+// remaining workers.
+func (g *Generator) StreamBatches(ctx context.Context, np, batchSize int, emit func(p int, batch []Edge) error) error {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
 	parts, err := parallel.Partition(g.b.NNZ(), np)
 	if err != nil {
 		return err
 	}
 	mC := int64(g.c.NumRows)
 	nC := int64(g.c.NumCols)
+	loop := g.loopRow
 	return parallel.RunContext(ctx, np, func(ctx context.Context, p int) error {
-		for _, tb := range g.b.Tr[parts[p].Lo:parts[p].Hi] {
+		buf := make([]Edge, 0, batchSize)
+		flush := func() error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if err := emit(p, buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+			return nil
+		}
+		cTr := g.c.Tr
+		for _, tb := range g.b.Tr[parts[p].Lo:parts[p].Hi] {
 			rBase := int64(tb.Row) * mC
 			cBase := int64(tb.Col) * nC
-			for _, tc := range g.c.Tr {
-				row := rBase + int64(tc.Row)
-				col := cBase + int64(tc.Col)
-				if row == g.loopRow && col == g.loopRow {
-					continue
+			if loop >= rBase && loop < rBase+mC && loop >= cBase && loop < cBase+nC {
+				// This triple's block contains the removed self-loop: keep
+				// the per-edge skip test (loop >= 0 is implied — both block
+				// ranges are non-negative).
+				for _, tc := range cTr {
+					row := rBase + int64(tc.Row)
+					col := cBase + int64(tc.Col)
+					if row == loop && col == loop {
+						continue
+					}
+					buf = append(buf, Edge{Row: row, Col: col, Val: tb.Val * tc.Val})
+					if len(buf) == batchSize {
+						if err := flush(); err != nil {
+							return err
+						}
+					}
 				}
-				if err := emit(p, Edge{Row: row, Col: col, Val: tb.Val * tc.Val}); err != nil {
-					return err
+				continue
+			}
+			for _, tc := range cTr {
+				buf = append(buf, Edge{Row: rBase + int64(tc.Row), Col: cBase + int64(tc.Col), Val: tb.Val * tc.Val})
+				if len(buf) == batchSize {
+					if err := flush(); err != nil {
+						return err
+					}
 				}
+			}
+		}
+		if len(buf) > 0 {
+			return flush()
+		}
+		return nil
+	})
+}
+
+// Stream generates the graph with np workers, calling emit once per edge.
+// Each worker enumerates its slice of B triples against all of C; the
+// removed self-loop is skipped. emit is invoked concurrently from np
+// goroutines and must be safe for the worker index it receives; edges arrive
+// in deterministic per-worker order. This is the convenience per-edge view
+// of StreamBatches — rate-sensitive consumers should use StreamBatches
+// directly and skip the per-edge callback.
+func (g *Generator) Stream(np int, emit func(worker int, e Edge) error) error {
+	return g.StreamContext(context.Background(), np, emit)
+}
+
+// StreamContext is Stream with cooperative cancellation: implemented on
+// StreamBatches with an internal batch, so each worker checks the context
+// once per compatBatchSize edges and stops with ctx.Err() once it is
+// cancelled. A non-nil error from emit cancels the remaining workers.
+func (g *Generator) StreamContext(ctx context.Context, np int, emit func(worker int, e Edge) error) error {
+	return g.StreamBatches(ctx, np, compatBatchSize, func(p int, batch []Edge) error {
+		for _, e := range batch {
+			if err := emit(p, e); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -225,7 +290,10 @@ func (g *Generator) Materialize(np int) ([]Part, error) {
 				maxCol = t.Col
 			}
 		}
-		localCols := (maxCol - minCol + 1) * int(nC)
+		localCols, err := sparse.MulDim(maxCol-minCol+1, int(nC))
+		if err != nil {
+			return fmt.Errorf("gen: worker %d column band [%d, %d]: %w", p, minCol, maxCol, err)
+		}
 		tr := make([]sparse.Triple[int64], 0, len(slice)*g.c.NNZ())
 		for _, tb := range slice {
 			rBase := int64(tb.Row) * mC

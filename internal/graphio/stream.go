@@ -8,15 +8,29 @@ import (
 	"strings"
 )
 
-// EdgeWriter encodes one edge at a time to an underlying stream, the shape
-// the paper's generator produces: edges exist only in flight, never as a
-// materialized matrix. Implementations buffer internally; Flush pushes
-// everything written so far to the underlying io.Writer (the job service
-// calls it at chunk boundaries so HTTP clients see edges while generation
-// is still running).
+// Edge is one directed adjacency entry in global coordinates — the unit the
+// generator streams and the edge writers encode. It lives here, at the
+// bottom of the layer stack, so the generator (internal/gen aliases it as
+// gen.Edge) and the encoders share one batch type and whole batches move
+// between them without conversion or copying.
+type Edge struct {
+	Row, Col int64
+	Val      int64
+}
+
+// EdgeWriter encodes edges to an underlying stream, the shape the paper's
+// generator produces: edges exist only in flight, never as a materialized
+// matrix. WriteEdges is the hot path — one call encodes a whole batch with
+// buffer management amortized across it; WriteEdge remains for single
+// entries. Implementations buffer internally; Flush pushes everything
+// written so far to the underlying io.Writer (the job service calls it at
+// chunk boundaries so HTTP clients see edges while generation is still
+// running).
 type EdgeWriter interface {
 	// WriteEdge encodes one "row col value" entry (0-based global indices).
 	WriteEdge(row, col, val int64) error
+	// WriteEdges encodes a whole batch of entries in order.
+	WriteEdges(batch []Edge) error
 	// Comment writes a line the matching reader ignores, used for
 	// end-of-stream trailers ("# state=done edges=N"). Implementations
 	// whose format forbids inline comments (MatrixMarket permits them only
@@ -24,6 +38,39 @@ type EdgeWriter interface {
 	Comment(text string) error
 	// Flush writes any buffered output to the underlying writer.
 	Flush() error
+}
+
+// edgeChunk bounds the bytes WriteEdges encodes between pushes to the
+// underlying bufio.Writer, so a large batch amortizes the write calls
+// without growing the scratch buffer past a few pages.
+const edgeChunk = 1 << 14
+
+// writeEdgeBatch is the one chunked batch encoder behind both writers'
+// WriteEdges: entries are appended to scratch with the format's field
+// separator and index base (MatrixMarket is 1-based) and pushed to bw in
+// edgeChunk pieces. Returns the (possibly regrown) scratch truncated for
+// reuse.
+func writeEdgeBatch(bw *bufio.Writer, scratch []byte, batch []Edge, sep byte, base int64) ([]byte, error) {
+	b := scratch[:0]
+	for _, e := range batch {
+		b = strconv.AppendInt(b, e.Row+base, 10)
+		b = append(b, sep)
+		b = strconv.AppendInt(b, e.Col+base, 10)
+		b = append(b, sep)
+		b = strconv.AppendInt(b, e.Val, 10)
+		b = append(b, '\n')
+		if len(b) >= edgeChunk {
+			if _, err := bw.Write(b); err != nil {
+				return b[:0], err
+			}
+			b = b[:0]
+		}
+	}
+	if len(b) == 0 {
+		return b, nil
+	}
+	_, err := bw.Write(b)
+	return b[:0], err
 }
 
 // TSVEdgeWriter streams "row\tcol\tval" lines; the output of a complete
@@ -50,6 +97,15 @@ func (t *TSVEdgeWriter) WriteEdge(row, col, val int64) error {
 	b = append(b, '\n')
 	t.buf = b
 	_, err := t.bw.Write(b)
+	return err
+}
+
+// WriteEdges encodes a batch of tab-separated triple lines through the
+// shared chunked encoder — per-call overhead paid once per chunk instead of
+// once per edge.
+func (t *TSVEdgeWriter) WriteEdges(batch []Edge) error {
+	b, err := writeEdgeBatch(t.bw, t.buf, batch, '\t', 0)
+	t.buf = b
 	return err
 }
 
@@ -108,6 +164,15 @@ func (m *MatrixMarketEdgeWriter) WriteEdge(row, col, val int64) error {
 	b = append(b, '\n')
 	m.buf = b
 	_, err := m.bw.Write(b)
+	return err
+}
+
+// WriteEdges encodes a batch of coordinate entries (1-based) through the
+// shared chunked encoder — per-call overhead paid once per chunk instead of
+// once per edge.
+func (m *MatrixMarketEdgeWriter) WriteEdges(batch []Edge) error {
+	b, err := writeEdgeBatch(m.bw, m.buf, batch, ' ', 1)
+	m.buf = b
 	return err
 }
 

@@ -107,14 +107,29 @@ func (j *Job) ID() string { return j.id }
 // Cancel asks the job to stop; safe to call in any state and more than once.
 func (j *Job) Cancel() { j.cancel() }
 
+// ErrJobTerminal is returned by Attach when the job already finished:
+// edges exist only in flight, so a terminal job's stream can never carry
+// anything, and pretending otherwise would emit a well-formed-looking file
+// with a header and zero entries.
+var ErrJobTerminal = errors.New("job already finished; its edges were never stored and cannot be replayed")
+
 // Attach claims the job's edge stream. Exactly one consumer may attach over
 // the job's lifetime; edges exist only in flight and are gone once read.
+// Attaching to a job that already reached a terminal state fails with
+// ErrJobTerminal (wrapped): its closed channel would produce a stream that
+// declares totalEdges entries and delivers none.
 func (j *Job) Attach() (<-chan []kron.Edge, error) {
 	if j.sink != SinkStream {
 		return nil, fmt.Errorf("job %s has sink %q; only %q jobs stream edges", j.id, j.sink, SinkStream)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	// Terminal wins over already-attached: once the job has finished, its
+	// stream is permanently gone (410), whether or not someone consumed it —
+	// re-attaching after a completed stream must not look retryable.
+	if j.state.Terminal() {
+		return nil, fmt.Errorf("job %s is %s: %w", j.id, j.state, ErrJobTerminal)
+	}
 	if j.attached {
 		return nil, fmt.Errorf("job %s already has a stream consumer; edges are not stored for replay", j.id)
 	}
@@ -379,51 +394,32 @@ func (m *Manager) run(j *Job) {
 	m.finish(j, err)
 }
 
-// generate drives the communication-free generator, batching each worker's
-// edges and pushing batches into the stream channel (blocking on a full
-// channel — backpressure) or straight into the progress counters.
+// generate drives the communication-free generator over its batch-native
+// path: each worker's batches arrive whole, so progress accounting and the
+// channel hand-off cost one call per batchSize edges instead of a per-edge
+// closure. Stream batches are copied out of the generator's reusable buffer
+// and pushed into the stream channel (blocking on a full channel —
+// backpressure); discard batches only bump the progress counters.
 func (m *Manager) generate(j *Job, g *kron.Generator) error {
-	np := j.workers
-	batches := make([][]kron.Edge, np)
-	for p := range batches {
-		batches[p] = make([]kron.Edge, 0, batchSize)
-	}
-	flush := func(p int) error {
-		b := batches[p]
-		if len(b) == 0 {
-			return nil
-		}
-		j.generated.Add(int64(len(b)))
-		m.metrics.EdgesGenerated.Add(int64(len(b)))
+	return g.StreamBatches(j.ctx, j.workers, batchSize, func(p int, batch []kron.Edge) error {
+		n := int64(len(batch))
+		j.generated.Add(n)
+		m.metrics.EdgesGenerated.Add(n)
 		if j.edges == nil {
-			batches[p] = b[:0]
 			return nil
 		}
-		batches[p] = make([]kron.Edge, 0, batchSize)
+		// The generator reuses batch after this callback returns; the copy
+		// is one allocation + memmove per batch, the price the old per-edge
+		// path paid too (it allocated a fresh batch per flush).
+		out := make([]kron.Edge, len(batch))
+		copy(out, batch)
 		select {
-		case j.edges <- b:
+		case j.edges <- out:
 			return nil
 		case <-j.ctx.Done():
 			return j.ctx.Err()
 		}
-	}
-	err := g.StreamContext(j.ctx, np, func(p int, e kron.Edge) error {
-		batches[p] = append(batches[p], e)
-		if len(batches[p]) == batchSize {
-			return flush(p)
-		}
-		return nil
 	})
-	if err != nil {
-		return err
-	}
-	// All workers have joined; flush the partial batches.
-	for p := range batches {
-		if err := flush(p); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // finish records the terminal state exactly once per job. Classification

@@ -505,23 +505,46 @@ func TestServiceRejections(t *testing.T) {
 	}
 	r.Body.Close()
 
-	// Two consumers cannot share one stream.
-	first, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges")
+	// Two consumers cannot share one stream: while the first consumer holds
+	// a running job, a second attach conflicts (409). A bounded queue and a
+	// large design keep the job deterministically mid-stream for the check.
+	_, ts2 := newTestServer(t, Config{QueueDepth: 2})
+	big := DesignRequest{Points: []int{3, 4, 5, 9, 16}, Loop: "hub"}
+	sj := decodeBody[JobStatus](t, postJSON(t, ts2.URL+"/v1/jobs", JobRequest{DesignRequest: big, Workers: 2}))
+	first, err := http.Get(ts2.URL + "/v1/jobs/" + sj.ID + "/edges")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer first.Body.Close()
-	second, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges")
+	br := bufio.NewReader(first.Body)
+	for i := 0; i < 50; i++ {
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, err := http.Get(ts2.URL + "/v1/jobs/" + sj.ID + "/edges")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if second.StatusCode != http.StatusConflict {
-		t.Fatalf("second attach: %d, want 409", second.StatusCode)
+		t.Fatalf("second attach on a running job: %d, want 409", second.StatusCode)
 	}
 	second.Body.Close()
-	if _, err := io.Copy(io.Discard, first.Body); err != nil {
+	if _, err := io.Copy(io.Discard, br); err != nil {
 		t.Fatal(err)
 	}
+
+	// Once the job finishes, a further attach is 410 Gone — terminal wins
+	// over already-attached, because the stream can never be replayed.
+	waitForState(t, ts2.URL, sj.ID, StateDone)
+	third, err := http.Get(ts2.URL + "/v1/jobs/" + sj.ID + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.StatusCode != http.StatusGone {
+		t.Fatalf("attach after completed stream: %d, want 410", third.StatusCode)
+	}
+	third.Body.Close()
 }
 
 // TestServiceHealthAndMetrics checks the operational endpoints.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -73,13 +74,25 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 	}
 	ch, err := j.Attach()
 	if err != nil {
-		writeError(w, http.StatusConflict, err.Error())
+		// A terminal job's stream is gone for good (410), not merely busy
+		// (409): edges are never stored, so there is nothing to come back
+		// for.
+		status := http.StatusConflict
+		if errors.Is(err, ErrJobTerminal) {
+			status = http.StatusGone
+		}
+		writeError(w, status, err.Error())
 		return
 	}
 	header := fmt.Sprintf("kronserve job %s design %s workers %d totalEdges %d",
 		j.id, j.req.Key(), j.workers, j.totalEdges)
 	ew, err := newEdgeWriter(w, format, j, header)
 	if err != nil {
+		// Both writers buffer their header, so nothing has been committed
+		// to the response yet and a real error status can still be sent —
+		// a bare return here would hand the client a bodyless implicit 200.
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("initializing %s edge stream: %v", format, err))
 		// Attach succeeded, so generation is now waking up; cancel it since
 		// this (sole possible) consumer is bailing out.
 		j.Cancel()
@@ -101,10 +114,8 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 	}
 	sinceFlush := 0
 	write := func(batch []kron.Edge) error {
-		for _, e := range batch {
-			if err := ew.WriteEdge(e.Row, e.Col, e.Val); err != nil {
-				return err
-			}
+		if err := ew.WriteEdges(batch); err != nil {
+			return err
 		}
 		j.streamed.Add(int64(len(batch)))
 		s.metrics.EdgesStreamed.Add(int64(len(batch)))

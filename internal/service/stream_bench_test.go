@@ -1,0 +1,68 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkStreamServiceThroughput drives the whole service hot path once
+// per iteration — submit a streaming job over HTTP, drain its chunked TSV
+// edge stream into io.Discard — and reports end-to-end streamed edges/s.
+// This is the consumer-facing counterpart of the generator-only stream
+// benchmarks at the repo root.
+func BenchmarkStreamServiceThroughput(b *testing.B) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	req := JobRequest{
+		DesignRequest: DesignRequest{Points: []int{3, 4, 5, 9, 16}, Loop: "hub"},
+		Workers:       min(runtime.GOMAXPROCS(0), DefaultConfig().MaxWorkers),
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			b.Fatalf("POST /v1/jobs: %d", resp.StatusCode)
+		}
+		stream, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/edges")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, stream.Body); err != nil {
+			b.Fatal(err)
+		}
+		stream.Body.Close()
+		j, ok := s.manager.Get(st.ID)
+		if !ok {
+			b.Fatalf("job %s vanished", st.ID)
+		}
+		<-j.done
+		if got := j.Status(); got.State != StateDone || got.StreamedEdges != got.TotalEdges {
+			b.Fatalf("job ended %s with %d/%d edges streamed", got.State, got.StreamedEdges, got.TotalEdges)
+		}
+		edges += st.TotalEdges
+	}
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/s")
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/kron"
+)
+
+// TestStreamWriterFailureReturnsError is the regression test for the
+// bodyless implicit 200: when the edge writer cannot be constructed, the
+// client must see a real error status (both writers buffer their header, so
+// no bytes are committed yet) and the job must be cancelled. The failure is
+// forced through a hand-built job whose totalEdges is negative — the one
+// input NewMatrixMarketEdgeWriter rejects.
+func TestStreamWriterFailureReturnsError(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	req := JobRequest{DesignRequest: DesignRequest{Points: []int{3, 4}, Loop: "hub"}}
+	d, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:         "jbroken",
+		req:        req,
+		design:     d,
+		workers:    1,
+		sink:       SinkStream,
+		totalEdges: -1, // poisoned: NewMatrixMarketEdgeWriter rejects nnz < 0
+		ctx:        ctx,
+		cancel:     cancel,
+		state:      StatePending,
+		created:    time.Now(),
+		attachCh:   make(chan struct{}),
+		done:       make(chan struct{}),
+		edges:      make(chan []kron.Edge, 1),
+	}
+	rec := httptest.NewRecorder()
+	hr := httptest.NewRequest(http.MethodGet, "/v1/jobs/jbroken/edges?format=matrixmarket", nil)
+	s.streamJob(rec, hr, j, "matrixmarket")
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("writer construction failure returned %d, want 500 (pre-fix: bodyless 200)", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "edge stream") {
+		t.Fatalf("error body %q does not explain the failure", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response content type %q, want application/json", ct)
+	}
+	if j.ctx.Err() == nil {
+		t.Fatal("job not cancelled after its stream setup failed")
+	}
+}
+
+// TestAttachAfterTerminalRejected is the regression test for streaming a
+// terminal job: attaching must fail with 410 Gone instead of emitting a
+// MatrixMarket header that declares totalEdges entries followed by none.
+func TestAttachAfterTerminalRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design}))
+
+	// Cancel the pending job before any consumer attaches, and wait for the
+	// run loop to finish.
+	httpDelete(t, ts.URL+"/v1/jobs/"+job.ID)
+	st := waitForTerminal(t, ts.URL, job.ID)
+	if st.State != StateCancelled {
+		t.Fatalf("job is %s, want cancelled", st.State)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges?format=matrixmarket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("attach to terminal job: %d, want 410 (pre-fix: 200 with a header and zero entries)", resp.StatusCode)
+	}
+	body := decodeBody[errorBody](t, resp)
+	if !strings.Contains(body.Error, "finished") {
+		t.Fatalf("410 body %q does not explain the terminal state", body.Error)
+	}
+	if strings.Contains(body.Error, "%%MatrixMarket") {
+		t.Fatal("rejection leaked a MatrixMarket header")
+	}
+
+	// The direct API reports the sentinel so embedding programs can branch.
+	j, ok := s.manager.Get(job.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if _, err := j.Attach(); !errors.Is(err, ErrJobTerminal) {
+		t.Fatalf("Attach on terminal job: %v, want ErrJobTerminal", err)
+	}
+}

@@ -15,11 +15,11 @@ import (
 // NumCols = A.NumCols·B.NumCols, and nnz(C) = nnz(A)·nnz(B) when both inputs
 // are canonical and the semiring has no zero divisors.
 func Kron[T any](a, b *COO[T], sr semiring.Semiring[T]) (*COO[T], error) {
-	rows, err := mulDim(a.NumRows, b.NumRows)
+	rows, err := MulDim(a.NumRows, b.NumRows)
 	if err != nil {
 		return nil, err
 	}
-	cols, err := mulDim(a.NumCols, b.NumCols)
+	cols, err := MulDim(a.NumCols, b.NumCols)
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +61,10 @@ func KronN[T any](sr semiring.Semiring[T], factors ...*COO[T]) (*COO[T], error) 
 // edge-stream form the parallel generator uses so that trillion-scale
 // products never need to exist in memory at once.
 func KronStream[T any](a, b *COO[T], sr semiring.Semiring[T], fn func(row, col int, val T) error) error {
-	if _, err := mulDim(a.NumRows, b.NumRows); err != nil {
+	if _, err := MulDim(a.NumRows, b.NumRows); err != nil {
 		return err
 	}
-	if _, err := mulDim(a.NumCols, b.NumCols); err != nil {
+	if _, err := MulDim(a.NumCols, b.NumCols); err != nil {
 		return err
 	}
 	for _, ta := range a.Tr {
@@ -79,10 +79,12 @@ func KronStream[T any](a, b *COO[T], sr semiring.Semiring[T], fn func(row, col i
 	return nil
 }
 
-// mulDim multiplies two dimensions, guarding against int overflow, which on
+// MulDim multiplies two dimensions, guarding against int overflow, which on
 // 64-bit platforms bounds realizable matrices to ~9.2e18 rows — beyond that
-// the designer's big-integer path must be used instead.
-func mulDim(a, b int) (int, error) {
+// the designer's big-integer path must be used instead. Exported so every
+// dimension product in the module (including the generator's per-worker
+// column bands) routes through the same guard.
+func MulDim(a, b int) (int, error) {
 	if a == 0 || b == 0 {
 		return 0, nil
 	}

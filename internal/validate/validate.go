@@ -5,10 +5,10 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
-	"sync"
 
 	"repro/internal/bigdeg"
 	"repro/internal/core"
@@ -73,14 +73,17 @@ func Run(d *core.Design, nb, np int) (*Report, error) {
 
 	n := pred.Vertices.Int64()
 
-	// Collect the streamed edges into per-worker buffers (no shared state
-	// during generation, mirroring the algorithm's no-communication form).
+	// Collect the streamed edges into per-worker buffers via the batch-native
+	// path: each worker appends only to its own buffer, so there is no
+	// shared state at all during generation — mirroring the algorithm's
+	// no-communication form — and no per-edge callback on the hot loop.
 	buffers := make([][]sparse.Triple[int64], np)
-	var mu sync.Mutex
-	err = g.Stream(np, func(w int, e gen.Edge) error {
-		mu.Lock()
-		buffers[w] = append(buffers[w], sparse.Triple[int64]{Row: int(e.Row), Col: int(e.Col), Val: e.Val})
-		mu.Unlock()
+	err = g.StreamBatches(context.Background(), np, 0, func(w int, batch []gen.Edge) error {
+		buf := buffers[w]
+		for _, e := range batch {
+			buf = append(buf, sparse.Triple[int64]{Row: int(e.Row), Col: int(e.Col), Val: e.Val})
+		}
+		buffers[w] = buf
 		return nil
 	})
 	if err != nil {

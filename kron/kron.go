@@ -17,7 +17,7 @@
 //     edges.
 //
 //     g, _ := kron.NewGenerator(d, 6)
-//     g.Stream(8, func(worker int, e kron.Edge) error { ... })
+//     g.StreamBatches(ctx, 8, 0, func(worker int, batch []kron.Edge) error { ... })
 //
 //  3. Validate: measure a generated graph and confirm exact agreement with
 //     the design.
@@ -83,10 +83,15 @@ type Generator = gen.Generator
 // Edge is one generated adjacency entry in global coordinates.
 type Edge = gen.Edge
 
+// DefaultStreamBatchSize is the per-worker batch size StreamBatches uses
+// when the caller passes batchSize <= 0.
+const DefaultStreamBatchSize = gen.DefaultBatchSize
+
 // NewGenerator splits the design after its first nb factors into A = B ⊗ C
 // and realizes both sides, ready to generate at any worker count. The
-// returned Generator supports both Stream (run to completion) and
-// StreamContext (cooperatively cancellable, for long-running services).
+// returned Generator's hot path is StreamBatches (cancellable, batch-native
+// — edges arrive in reusable per-worker []Edge batches); Stream and
+// StreamContext are per-edge conveniences layered on top of it.
 func NewGenerator(d *Design, nb int) (*Generator, error) { return gen.New(d, nb) }
 
 // DefaultMaxCNNZ is the default bound on the C side's stored entries when a
