@@ -26,6 +26,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/plot"
 	"repro/internal/rmat"
+	"repro/internal/validate"
 	"repro/kron"
 )
 
@@ -288,6 +289,48 @@ func fig4(maxWorkers int) error {
 	}
 	fmt.Println("reduced-scale validation (same code path):")
 	fmt.Print(r)
+
+	// Validation-throughput benchmark: edges measured per second through
+	// the full predicted-vs-measured pipeline (generate, degree-merge, CSR,
+	// both triangle counters) on a larger hub-loop workload. The streaming
+	// engine is compared against the materialized sort-and-dedupe baseline
+	// at one worker, then swept across worker counts.
+	bd, err := kron.FromPoints([]int{3, 4, 5, 9, 16}, kron.LoopHub)
+	if err != nil {
+		return err
+	}
+	const benchSplit = 3
+	start := time.Now()
+	mrep, err := validate.RunMaterialized(context.Background(), bd, benchSplit, 1)
+	if err != nil {
+		return err
+	}
+	matRate := float64(mrep.MeasuredEdges) / time.Since(start).Seconds()
+	fmt.Printf("\nvalidation throughput, %d-edge hub workload %v:\n", mrep.MeasuredEdges, bd)
+	fmt.Printf("%-24s %-10s %-14s %s\n", "engine", "workers", "edges/s", "exact")
+	fmt.Printf("%-24s %-10d %-14.3e %v\n", "materialized (baseline)", 1, matRate, mrep.ExactAgreement)
+	var valScaling []parallel.ScalingPoint
+	singleRate := 0.0
+	for np := 1; np <= maxWorkers; np *= 2 {
+		start = time.Now()
+		srep, err := validate.RunContext(context.Background(), bd, benchSplit, np)
+		if err != nil {
+			return err
+		}
+		rate := float64(srep.MeasuredEdges) / time.Since(start).Seconds()
+		if np == 1 {
+			singleRate = rate
+		}
+		valScaling = append(valScaling, parallel.ScalingPoint{Cores: np, EdgesPerSec: rate})
+		fmt.Printf("%-24s %-10d %-14.3e %v\n", "streaming", np, rate, srep.ExactAgreement)
+	}
+	fmt.Printf("single-worker streaming vs materialized: %.2fx\n", singleRate/matRate)
+	recordBench("validationEdges", mrep.MeasuredEdges)
+	recordBench("materializedEdgesPerSec", matRate)
+	recordBench("streamingEdgesPerSec", singleRate)
+	recordBench("validationSpeedup", singleRate/matRate)
+	recordBench("streamingScaling", valScaling)
+	recordBench("maxRealizableEdges", int64(validate.MaxRealizableEdges))
 	return nil
 }
 
@@ -361,6 +404,14 @@ func figRMAT(maxWorkers int) error {
 	}
 	fmt.Printf("R-MAT needed %d generate-and-measure trials (%v) to land near its target.\n",
 		len(trials), dur)
+	var sampled int64
+	for _, tr := range trials {
+		sampled += tr.Params.NumSampledEdges()
+	}
+	rate := float64(sampled) / dur.Seconds()
+	fmt.Printf("R-MAT sampled %d edges across the loop: %.3e edges/s\n", sampled, rate)
+	recordBench("sampledEdges", sampled)
+	recordBench("edgesPerSec", rate)
 
 	start = time.Now()
 	d, err := kron.FromPoints([]int{3, 4, 5, 9, 16, 25, 81, 256}, kron.LoopHub)

@@ -8,22 +8,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cliutil"
 	"repro/kron"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C stops the in-flight measurement passes within one batch
+	// instead of abandoning a multi-second validation to the kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "kronvalidate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("kronvalidate", flag.ContinueOnError)
 	mhat := fs.String("mhat", "", "comma-separated star sizes m̂")
 	loop := fs.String("loop", "none", "self-loop mode: none, hub, or leaf")
@@ -44,7 +51,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := kron.Validate(d, *split, *workers)
+	r, err := kron.ValidateContext(ctx, d, *split, *workers)
 	if err != nil {
 		return err
 	}

@@ -9,7 +9,7 @@ package rmat
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/parallel"
 )
@@ -217,7 +217,7 @@ func Reindex(edges []Edge) ([]Edge, int64) {
 			order = append(order, e.Dst)
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(order) // radix-free but reflection-free; order is []int64
 	for i, v := range order {
 		ids[v] = int64(i)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -126,6 +127,11 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
+
+// statusClientClosedRequest is the conventional (nginx-originated) status
+// for requests abandoned by the client before the response; no client reads
+// it, but it keeps access logs honest about why the handler returned early.
+const statusClientClosedRequest = 499
 
 // errorBody is the uniform JSON error envelope.
 type errorBody struct {
@@ -292,8 +298,21 @@ func (s *Service) handleValidate(w http.ResponseWriter, r *http.Request) {
 	j.valMu.Lock()
 	defer j.valMu.Unlock()
 	if j.validation == nil {
-		rep, err := kron.Validate(j.design, j.split, j.workers)
+		// The request context rides through the whole measurement: a client
+		// that disconnects mid-validation stops the generation passes and
+		// the triangle bands instead of burning cores on an answer nobody
+		// will read. Nothing partial is cached.
+		rep, err := kron.ValidateContext(r.Context(), j.design, j.split, j.workers)
 		if err != nil {
+			// Only an actual cancellation error counts as "client gone": a
+			// genuine validation failure must keep its 500 + message even
+			// when the impatient client has meanwhile disconnected. The
+			// status code is then a log artifact (499 is nginx's "client
+			// closed request").
+			if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+				writeError(w, statusClientClosedRequest, "validation cancelled: client disconnected")
+				return
+			}
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}

@@ -1,0 +1,46 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// A client that disconnects before (or during) a validation must not leave
+// the validation burning cores: the request context rides through
+// kron.ValidateContext, the handler answers 499, and nothing is cached or
+// counted, so a later live request still validates cleanly.
+func TestValidateCancelledRequestStopsValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5, 9}, Loop: "hub"}
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design, Workers: 2, Split: 2, Sink: SinkDiscard})
+	job := decodeBody[JobStatus](t, resp)
+	waitForState(t, ts.URL, job.ID, StateDone)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/v1/validate/"+job.ID, nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("cancelled validate request: status %d, want %d (body %s)",
+			rec.Code, statusClientClosedRequest, tail(rec.Body.String(), 200))
+	}
+	if got := s.Metrics().ValidationsRun.Load(); got != 0 {
+		t.Fatalf("cancelled validation counted as run (%d)", got)
+	}
+
+	// The abandoned attempt must not have poisoned the cache: a live
+	// request validates from scratch and agrees exactly.
+	req = httptest.NewRequest(http.MethodGet, "/v1/validate/"+job.ID, nil)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("follow-up validate: status %d: %s", rec.Code, tail(rec.Body.String(), 200))
+	}
+	if got := s.Metrics().ValidationsRun.Load(); got != 1 {
+		t.Fatalf("validations run = %d, want 1", got)
+	}
+}

@@ -10,7 +10,7 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/semiring"
 )
@@ -64,14 +64,15 @@ func (m *COO[T]) Clone() *COO[T] {
 	return &COO[T]{NumRows: m.NumRows, NumCols: m.NumCols, Tr: tr}
 }
 
-// SortRowMajor sorts the triples in place by (row, col).
+// SortRowMajor sorts the triples in place by (row, col). slices.SortFunc
+// monomorphizes the comparator, avoiding sort.Slice's reflect.Swapper on
+// what is the hottest sort in the materialized pipeline.
 func (m *COO[T]) SortRowMajor() {
-	sort.Slice(m.Tr, func(i, j int) bool {
-		a, b := m.Tr[i], m.Tr[j]
+	slices.SortFunc(m.Tr, func(a, b Triple[T]) int {
 		if a.Row != b.Row {
-			return a.Row < b.Row
+			return a.Row - b.Row
 		}
-		return a.Col < b.Col
+		return a.Col - b.Col
 	})
 }
 

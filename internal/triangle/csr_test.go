@@ -1,0 +1,97 @@
+package triangle
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/star"
+)
+
+// randomSymmetric builds a random simple symmetric graph on n vertices.
+func randomSymmetric(n int, density float64, seed int64) *sparse.COO[int64] {
+	rng := rand.New(rand.NewSource(seed))
+	var tr []sparse.Triple[int64]
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				tr = append(tr,
+					sparse.Triple[int64]{Row: i, Col: j, Val: 1},
+					sparse.Triple[int64]{Row: j, Col: i, Val: 1})
+			}
+		}
+	}
+	return sparse.MustCOO(n, n, tr)
+}
+
+func TestCSRCountersMatchCOOCounters(t *testing.T) {
+	ctx := context.Background()
+	graphs := []*sparse.COO[int64]{
+		complete(6),
+		randomSymmetric(40, 0.15, 1),
+		randomSymmetric(25, 0.4, 2),
+	}
+	// A hub-heavy star product, the shape the weighted entry bands exist for.
+	d, err := core.FromPoints([]int{5, 3, 4}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, g)
+	for gi, a := range graphs {
+		want, err := CountBoth(a)
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		csr := a.ToCSR(sr)
+		for _, np := range []int{1, 2, 4, 9} {
+			got, err := CountBothCSR(ctx, csr, np)
+			if err != nil {
+				t.Fatalf("graph %d np=%d: %v", gi, np, err)
+			}
+			if got != want {
+				t.Errorf("graph %d np=%d: CSR count %d, COO count %d", gi, np, got, want)
+			}
+		}
+	}
+}
+
+func TestCSRCountersEmptyGraph(t *testing.T) {
+	csr := sparse.MustCOO[int64](8, 8, nil).ToCSR(sr)
+	got, err := CountBothCSR(context.Background(), csr, 4)
+	if err != nil || got != 0 {
+		t.Fatalf("empty graph: %d, %v", got, err)
+	}
+}
+
+func TestCSRCountersRejectBadInput(t *testing.T) {
+	rect := sparse.MustCOO[int64](3, 4, nil).ToCSR(sr)
+	if _, err := CountLinearAlgebraCSR(context.Background(), rect, 2); err == nil {
+		t.Error("non-square accepted by linear-algebra counter")
+	}
+	if _, err := CountNodeIteratorCSR(context.Background(), rect, 2); err == nil {
+		t.Error("non-square accepted by node-iterator counter")
+	}
+	sq := complete(4).ToCSR(sr)
+	if _, err := CountLinearAlgebraCSR(context.Background(), sq, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestCSRCountersCancelled(t *testing.T) {
+	csr := randomSymmetric(60, 0.3, 3).ToCSR(sr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountLinearAlgebraCSR(ctx, csr, 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("linear-algebra err = %v, want context.Canceled", err)
+	}
+	if _, err := CountNodeIteratorCSR(ctx, csr, 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("node-iterator err = %v, want context.Canceled", err)
+	}
+}

@@ -2,6 +2,29 @@
 // graph in parallel, measure its properties from the realized edges alone,
 // and confirm exact agreement with the design-time predictions (the
 // predicted-vs-measured comparison of Figure 4).
+//
+// The measurement engine is streaming and communication-free, mirroring the
+// generator it checks. Edges are never collected into a global triple slice
+// and never comparison-sorted. Instead, the engine rides gen.StreamBatches
+// twice:
+//
+//   - Pass 1 (measure in flight): each worker tallies its own edge count
+//     and per-row degree counts over its contiguous B-column band while the
+//     edges are generated. Merging the bands yields the measured edge
+//     total, vertex count, and exact degree distribution — before a single
+//     edge is stored.
+//   - Pass 2 (build CSR in parallel): the same tallies, prefix-summed into
+//     per-worker write cursors, let every worker scatter its band straight
+//     into the final CSR arrays with no locks and no sort (the generator's
+//     band-order guarantee makes each row arrive column-sorted; see
+//     gen.StreamBatches and sparse.CSRBuilder).
+//
+// Triangles are then counted on the CSR by the same worker pool, partitioned
+// over weight-balanced entry bands (triangle.CountBothCSR). Peak memory is
+// the CSR itself plus the O(workers·vertices) tally tables — there is no
+// materialized COO, no Dedupe clone, and no reflection sort anywhere on the
+// path, which is what lifts MaxRealizableEdges 8× over the materialized
+// engine.
 package validate
 
 import (
@@ -41,44 +64,118 @@ type Report struct {
 	Mismatches []string
 }
 
+// MaxRealizableEdges caps the designs Run will realize in memory; larger
+// designs must be validated through the design-side identities alone. The
+// bound is set by the CSR footprint (16 bytes per stored entry) rather than
+// a globally sorted triple pipeline, which is why it sits 8× above the
+// materialized engine's historical 2^27 cap.
+const MaxRealizableEdges = 1 << 30
+
+// maxRealizableVertices bounds the row space: the engine keeps one int32
+// degree tally per vertex per worker plus the CSR row pointers. Star-product
+// designs have no isolated vertices, so vertices ≤ 2·edges keeps any design
+// under the edge cap under this bound too; it exists to fail loudly rather
+// than allocate absurdly on a degenerate input.
+const maxRealizableVertices = 1 << 31
+
 // Run generates the design with np workers via the split generator (split
 // after nb factors), measures everything from the streamed edges, and
 // compares against the design's predictions.
-// MaxRealizableEdges caps the designs Run will realize in memory; larger
-// designs must be validated through the design-side identities alone.
-const MaxRealizableEdges = 1 << 27
-
 func Run(d *core.Design, nb, np int) (*Report, error) {
-	pred, err := d.Compute()
+	return RunContext(context.Background(), d, nb, np)
+}
+
+// RunContext is Run with cooperative cancellation: generation passes stop
+// within one batch and triangle counting within one band stride of ctx
+// cancelling, returning ctx's error.
+func RunContext(ctx context.Context, d *core.Design, nb, np int) (*Report, error) {
+	pred, g, r, err := prepare(d, nb, np)
 	if err != nil {
 		return nil, err
 	}
-	if !pred.Vertices.IsInt64() || !pred.Edges.IsInt64() ||
-		pred.Edges.Int64() > MaxRealizableEdges {
-		return nil, fmt.Errorf("validate: design too large to realize (%s vertices, %s edges)",
-			pred.Vertices, pred.Edges)
-	}
-	g, err := gen.New(d, nb)
+	n := int(pred.Vertices.Int64())
+
+	builder, err := sparse.NewCSRBuilder[int64](n, n, np)
 	if err != nil {
 		return nil, err
 	}
-	r := &Report{
-		Design:             d,
-		Workers:            np,
-		PredictedVertices:  pred.Vertices,
-		PredictedEdges:     pred.Edges,
-		PredictedTriangles: pred.Triangles,
-		PredictedDegrees:   pred.Degrees,
+	// Pass 1 — measure in flight: per-worker degree tallies and edge
+	// counts, no edge stored. Each worker touches only its own tally row,
+	// so the pass shares nothing, like the generator underneath it.
+	err = g.StreamBatches(ctx, np, 0, func(w int, batch []gen.Edge) error {
+		for _, e := range batch {
+			builder.Count(w, int(e.Row))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := builder.Finalize(); err != nil {
+		return nil, err
 	}
 
+	// The band merge: edges, vertices, and the exact degree distribution
+	// all fall out of the merged row pointers before any edge is placed.
+	r.MeasuredEdges = int64(builder.NNZ())
+	hist, err := sparse.DegreeHistogramCSR(builder.RowPtr(), np)
+	if err != nil {
+		return nil, err
+	}
+	md := bigdeg.New()
+	var touched int64
+	for deg, cnt := range hist {
+		md.AddCount(big.NewInt(deg), big.NewInt(cnt))
+		touched += cnt
+	}
+	r.MeasuredDegrees = md
+	r.MeasuredVertices = touched
+
+	// Pass 2 — scatter the regenerated stream into the CSR. The generator
+	// is deterministic per worker, so each worker replays exactly the band
+	// it counted.
+	err = g.StreamBatches(ctx, np, 0, func(w int, batch []gen.Edge) error {
+		for _, e := range batch {
+			builder.Place(w, int(e.Row), int(e.Col), e.Val)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	a, err := builder.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	tri, err := triangle.CountBothCSR(ctx, a, np)
+	if err != nil {
+		return nil, err
+	}
+	r.MeasuredTriangles = tri
+
+	r.compare()
+	return r, nil
+}
+
+// RunMaterialized is the pre-streaming reference engine: it collects every
+// generated edge into one global COO, canonicalizes it with a comparison
+// sort, and measures from the materialized matrix. It exists as the oracle
+// for the streaming engine's parity tests and as the baseline the fig4
+// validation-throughput benchmark is measured against; it still enforces
+// the historical 2^27-edge bound of the global-sort pipeline.
+func RunMaterialized(ctx context.Context, d *core.Design, nb, np int) (*Report, error) {
+	pred, g, r, err := prepare(d, nb, np)
+	if err != nil {
+		return nil, err
+	}
+	if pred.Edges.Int64() > 1<<27 {
+		return nil, fmt.Errorf("validate: design too large for the materialized engine (%s edges)", pred.Edges)
+	}
 	n := pred.Vertices.Int64()
 
-	// Collect the streamed edges into per-worker buffers via the batch-native
-	// path: each worker appends only to its own buffer, so there is no
-	// shared state at all during generation — mirroring the algorithm's
-	// no-communication form — and no per-edge callback on the hot loop.
 	buffers := make([][]sparse.Triple[int64], np)
-	err = g.StreamBatches(context.Background(), np, 0, func(w int, batch []gen.Edge) error {
+	err = g.StreamBatches(ctx, np, 0, func(w int, batch []gen.Edge) error {
 		buf := buffers[w]
 		for _, e := range batch {
 			buf = append(buf, sparse.Triple[int64]{Row: int(e.Row), Col: int(e.Col), Val: e.Val})
@@ -98,7 +195,6 @@ func Run(d *core.Design, nb, np int) (*Report, error) {
 		return nil, err
 	}
 
-	// Measure everything from the realized edges only.
 	sr := semiring.PlusTimesInt64()
 	r.MeasuredEdges = int64(a.Dedupe(sr).NNZ())
 	hist := sparse.DegreeHistogram(a, sr)
@@ -118,6 +214,34 @@ func Run(d *core.Design, nb, np int) (*Report, error) {
 
 	r.compare()
 	return r, nil
+}
+
+// prepare computes the predictions, checks realizability, builds the split
+// generator, and seeds a report with the predicted side.
+func prepare(d *core.Design, nb, np int) (*core.Properties, *gen.Generator, *Report, error) {
+	pred, err := d.Compute()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !pred.Vertices.IsInt64() || !pred.Edges.IsInt64() ||
+		pred.Edges.Int64() > MaxRealizableEdges ||
+		pred.Vertices.Int64() > maxRealizableVertices {
+		return nil, nil, nil, fmt.Errorf("validate: design too large to realize (%s vertices, %s edges)",
+			pred.Vertices, pred.Edges)
+	}
+	g, err := gen.New(d, nb)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r := &Report{
+		Design:             d,
+		Workers:            np,
+		PredictedVertices:  pred.Vertices,
+		PredictedEdges:     pred.Edges,
+		PredictedTriangles: pred.Triangles,
+		PredictedDegrees:   pred.Degrees,
+	}
+	return pred, g, r, nil
 }
 
 func (r *Report) compare() {

@@ -30,6 +30,8 @@
 package kron
 
 import (
+	"context"
+
 	"repro/internal/bigdeg"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -118,14 +120,27 @@ type ValidationReport = validate.Report
 // MaxValidationEdges is the largest edge count Validate will realize in
 // memory; bigger designs are validated through the design-side closed forms
 // alone. Services should check a design against this bound before accepting
-// a validation request.
+// a validation request. The streaming measurement engine bounds it by the
+// CSR footprint (no globally sorted triple pipeline), so it sits 8× above
+// the materialized engine's historical 2^27 cap.
 const MaxValidationEdges = validate.MaxRealizableEdges
 
 // Validate generates the design (split after nb factors) with np workers,
 // measures vertices, edges, degree distribution, and triangles from the
-// realized edges, and reports whether everything agrees exactly.
+// realized edges, and reports whether everything agrees exactly. The
+// measurement is streaming: per-worker in-flight tallies merge into the
+// degree distribution, and triangles are counted on a CSR the workers build
+// in parallel — edges are never collected into one sorted list.
 func Validate(d *Design, nb, np int) (*ValidationReport, error) {
 	return validate.Run(d, nb, np)
+}
+
+// ValidateContext is Validate with cooperative cancellation: generation
+// stops within one batch and triangle counting within one band stride of
+// ctx cancelling. Services should pass their request context so abandoned
+// validations release their cores.
+func ValidateContext(ctx context.Context, d *Design, nb, np int) (*ValidationReport, error) {
+	return validate.RunContext(ctx, d, nb, np)
 }
 
 // RMATParams parameterizes the baseline Graph500 stochastic Kronecker
