@@ -245,6 +245,54 @@ func fig3(maxWorkers int) error {
 	}
 	fmt.Printf("cores needed for 1e12 edges/s at this per-core rate: %d\n", model.CoresFor(1e12))
 
+	// Shard-native generation: one process generating everything vs K=4
+	// independent shard "processes" (each run here sequentially with one
+	// worker, as separate OS processes would run them). Zero communication
+	// means each shard runs at the full single-core rate on its slice, so
+	// the shards' summed throughput is the aggregate a K-replica deployment
+	// delivers; cluster.PlanCost prices the same real plan (straggler-bound)
+	// instead of the idealized E/P.
+	const shardProcs = 4
+	plan, err := g.PlanShards(shardProcs)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	fullTotal, _, err := g.CountEdges(1)
+	if err != nil {
+		return err
+	}
+	fullRate := float64(fullTotal) / time.Since(start).Seconds()
+	fmt.Printf("\nsharded generation, 1 process vs %d shard processes (1 worker each):\n", shardProcs)
+	fmt.Printf("%-10s %-12s %-14s\n", "shard", "edges", "edges/s")
+	fmt.Printf("%-10s %-12d %-14.3e\n", "full", fullTotal, fullRate)
+	summed := 0.0
+	shardEdges := make([]int64, 0, len(plan))
+	for _, s := range plan {
+		start = time.Now()
+		n, _, err := g.CountShard(context.Background(), s, 1)
+		if err != nil {
+			return err
+		}
+		rate := float64(n) / time.Since(start).Seconds()
+		summed += rate
+		shardEdges = append(shardEdges, s.Edges)
+		fmt.Printf("%d/%-8d %-12d %-14.3e\n", s.Shard, s.Shards, n, rate)
+	}
+	fmt.Printf("summed shard throughput: %.3e edges/s (%.2fx one process)\n", summed, summed/fullRate)
+	planRep, err := cluster.PlanCost(shardEdges, cluster.Model{PerCoreRate: perCore})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("PlanCost of the real %d-shard plan at the measured per-core rate: %v, %.3e edges/s (max-min %d edges/shard)\n",
+		shardProcs, planRep.Time.Round(time.Microsecond), planRep.AggregateRate,
+		planRep.MaxEdgesPerCore-planRep.MinEdgesPerCore)
+	recordBench("shardProcesses", shardProcs)
+	recordBench("fullProcessEdgesPerSec", fullRate)
+	recordBench("shardSummedEdgesPerSec", summed)
+	recordBench("shardSpeedup", summed/fullRate)
+	recordBench("shardPlanCostEdgesPerSec", planRep.AggregateRate)
+
 	// Full-machine simulation of the paper's actual trillion-edge workload
 	// (B = {3,4,5,9,16,25}: 13,824,000 triples; C = {81,256}: 82,944),
 	// using the measured per-core rate and per-triple load balancing.

@@ -8,6 +8,14 @@
 //	krongen -mhat 3,4,5,9,16 -loop hub -split 3 -workers 4 -count
 //	krongen -mhat 3,4,5 -loop none -split 2 -workers 2 -stream /tmp/graph
 //	krongen -mhat 3,4,5 -loop none -split 2 -workers 2 -out /tmp/graph
+//
+// With -shard k/K the process generates only shard k of the deterministic
+// K-shard plan — run K krongen processes (one per shard, any machines, no
+// coordination) and concatenate their chunks to reassemble the full graph:
+//
+//	krongen -mhat 3,4,5 -loop hub -split 2 -shard 0/3 -stream /tmp/s0
+//	krongen -mhat 3,4,5 -loop hub -split 2 -shard 1/3 -stream /tmp/s1
+//	krongen -mhat 3,4,5 -loop hub -split 2 -shard 2/3 -stream /tmp/s2
 package main
 
 import (
@@ -16,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cliutil"
@@ -41,6 +51,7 @@ func run(args []string) error {
 	count := fs.Bool("count", false, "stream-generate and report the edge rate instead of storing")
 	out := fs.String("out", "", "directory to write per-worker edge chunks (prefix 'edges')")
 	stream := fs.String("stream", "", "directory to stream per-worker TSV chunks through the batch-native path (never materializes)")
+	shardSpec := fs.String("shard", "", "generate only shard k of the deterministic K-shard plan, as k/K (e.g. 0/4); applies to -count and -stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,9 +74,29 @@ func run(args []string) error {
 	fmt.Printf("design: %v — %d vertices, %d edges, nnz(B)=%d, nnz(C)=%d\n",
 		d, g.NumVertices(), g.NumEdges(), g.BNNZ(), g.CNNZ())
 
+	var shard *gen.ShardInfo
+	if *shardSpec != "" {
+		k, total, err := parseShard(*shardSpec)
+		if err != nil {
+			return err
+		}
+		plan, err := g.PlanShards(total)
+		if err != nil {
+			return err
+		}
+		shard = &plan[k]
+		fmt.Printf("shard %d/%d: B triples [%d, %d), %d edges\n",
+			shard.Shard, shard.Shards, shard.BLo, shard.BHi, shard.Edges)
+	}
+
 	if *count {
 		start := time.Now()
-		total, checksum, err := g.CountEdges(*workers)
+		var total, checksum int64
+		if shard != nil {
+			total, checksum, err = g.CountShard(context.Background(), *shard, *workers)
+		} else {
+			total, checksum, err = g.CountEdges(*workers)
+		}
 		if err != nil {
 			return err
 		}
@@ -76,7 +107,10 @@ func run(args []string) error {
 		return nil
 	}
 	if *stream != "" {
-		return streamChunks(g, *workers, *stream)
+		return streamChunks(g, shard, *workers, *stream)
+	}
+	if shard != nil {
+		return fmt.Errorf("-shard supports -count and -stream only (materializing per-worker parts is plan-oblivious)")
 	}
 	if *out == "" {
 		return fmt.Errorf("choose -count, -stream DIR, or -out DIR")
@@ -102,10 +136,33 @@ func run(args []string) error {
 	return nil
 }
 
-// streamChunks writes one TSV edge chunk per worker through StreamBatches:
-// each worker owns its file and encodes whole batches with WriteEdges, so
-// the graph is never materialized and no state is shared between workers.
-func streamChunks(g *gen.Generator, workers int, dir string) error {
+// parseShard parses a "k/K" shard spec into its index and total. Both
+// halves must be complete integers — trailing garbage ("1/2x", "1/2/8")
+// would silently generate the wrong slice and corrupt the reassembled
+// graph, so it is rejected, not ignored.
+func parseShard(spec string) (k, total int, err error) {
+	lo, hi, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q: want k/K (e.g. 0/4)", spec)
+	}
+	if k, err = strconv.Atoi(lo); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %v", spec, err)
+	}
+	if total, err = strconv.Atoi(hi); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %v", spec, err)
+	}
+	if total < 1 || k < 0 || k >= total {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 ≤ k < K", spec)
+	}
+	return k, total, nil
+}
+
+// streamChunks writes one TSV edge chunk per worker through StreamBatches —
+// or, with a shard, through StreamShard, so this process emits exactly its
+// slice of the deterministic plan. Each worker owns its file and encodes
+// whole batches with WriteEdges; the graph is never materialized and no
+// state is shared between workers.
+func streamChunks(g *gen.Generator, shard *gen.ShardInfo, workers int, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -128,10 +185,18 @@ func streamChunks(g *gen.Generator, workers int, dir string) error {
 		files[p] = f
 		writers[p] = graphio.NewTSVEdgeWriter(f)
 	}
-	start := time.Now()
-	err := g.StreamBatches(context.Background(), workers, 0, func(p int, batch []gen.Edge) error {
+	emit := func(p int, batch []gen.Edge) error {
 		return writers[p].WriteEdges(batch)
-	})
+	}
+	start := time.Now()
+	var err error
+	edges := g.NumEdges()
+	if shard != nil {
+		edges = shard.Edges
+		err = g.StreamShard(context.Background(), *shard, workers, 0, emit)
+	} else {
+		err = g.StreamBatches(context.Background(), workers, 0, emit)
+	}
 	if err != nil {
 		return err
 	}
@@ -146,6 +211,6 @@ func streamChunks(g *gen.Generator, workers int, dir string) error {
 	}
 	dur := time.Since(start)
 	fmt.Printf("streamed %d edges to %d chunks under %s in %v (%.3e edges/s)\n",
-		g.NumEdges(), workers, dir, dur, float64(g.NumEdges())/dur.Seconds())
+		edges, workers, dir, dur, float64(edges)/dur.Seconds())
 	return nil
 }

@@ -62,23 +62,27 @@ type RunReport struct {
 	AggregateRate float64
 }
 
-// SimulateRun computes the completion time of generating a B ⊗ C design
-// (nnz(B) work units, each fanning out nnz(C) edges, minus one removed
-// self-loop when loopRemoved) on the given core count.
-func SimulateRun(bnnz, cnnz int, loopRemoved bool, model Model, cores int) (RunReport, error) {
-	if bnnz < 1 || cnnz < 1 {
-		return RunReport{}, fmt.Errorf("cluster: empty workload %d×%d", bnnz, cnnz)
+// PlanCost prices an explicit per-shard edge assignment — the real output of
+// the generator's shard planner (gen.ShardInfo Edges), one entry per core.
+// Zero interprocessor communication makes the pricing exact: completion time
+// is the most-loaded shard's edges divided by the per-core rate, plus the
+// fixed launch latency; the aggregate rate is total edges over that time.
+// Unlike the idealized E/P model, an imbalanced plan is priced at its true
+// straggler-bound cost.
+func PlanCost(shardEdges []int64, model Model) (RunReport, error) {
+	if len(shardEdges) == 0 {
+		return RunReport{}, fmt.Errorf("cluster: empty plan")
 	}
 	if model.PerCoreRate <= 0 {
 		return RunReport{}, fmt.Errorf("cluster: per-core rate must be positive")
 	}
-	parts, err := parallel.Partition(bnnz, cores)
-	if err != nil {
-		return RunReport{}, err
-	}
+	var total int64
 	maxLoad, minLoad := int64(-1), int64(-1)
-	for _, r := range parts {
-		load := int64(r.Len()) * int64(cnnz)
+	for i, load := range shardEdges {
+		if load < 0 {
+			return RunReport{}, fmt.Errorf("cluster: shard %d has negative load %d", i, load)
+		}
+		total += load
 		if maxLoad < 0 || load > maxLoad {
 			maxLoad = load
 		}
@@ -86,18 +90,44 @@ func SimulateRun(bnnz, cnnz int, loopRemoved bool, model Model, cores int) (RunR
 			minLoad = load
 		}
 	}
-	total := int64(bnnz) * int64(cnnz)
-	if loopRemoved {
-		total--
-	}
 	secs := float64(maxLoad)/model.PerCoreRate + model.LaunchLatency.Seconds()
-	rep := RunReport{
-		Cores:           cores,
+	return RunReport{
+		Cores:           len(shardEdges),
 		TotalEdges:      total,
 		MaxEdgesPerCore: maxLoad,
 		MinEdgesPerCore: minLoad,
 		Time:            time.Duration(secs * float64(time.Second)),
 		AggregateRate:   float64(total) / secs,
+	}, nil
+}
+
+// SimulateRun computes the completion time of generating a B ⊗ C design
+// (nnz(B) work units, each fanning out nnz(C) edges, minus one removed
+// self-loop when loopRemoved) on the given core count: it derives the
+// per-core loads from the same Partition rule the real generator uses and
+// prices them with PlanCost.
+func SimulateRun(bnnz, cnnz int, loopRemoved bool, model Model, cores int) (RunReport, error) {
+	if bnnz < 1 || cnnz < 1 {
+		return RunReport{}, fmt.Errorf("cluster: empty workload %d×%d", bnnz, cnnz)
+	}
+	parts, err := parallel.Partition(bnnz, cores)
+	if err != nil {
+		return RunReport{}, err
+	}
+	loads := make([]int64, len(parts))
+	for i, r := range parts {
+		loads[i] = int64(r.Len()) * int64(cnnz)
+	}
+	rep, err := PlanCost(loads, model)
+	if err != nil {
+		return RunReport{}, err
+	}
+	if loopRemoved {
+		// The removed self-loop is one edge off the total (the owning core's
+		// load stays the straggler bound for timing purposes — the per-triple
+		// fan-out is enumerated whether or not the loop edge is emitted).
+		rep.TotalEdges--
+		rep.AggregateRate = float64(rep.TotalEdges) / rep.Time.Seconds()
 	}
 	return rep, nil
 }

@@ -3,6 +3,8 @@ package cluster
 import (
 	"testing"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 // The paper's trillion-edge workload: B = {3,4,5,9,16,25} (13,824,000
@@ -162,5 +164,85 @@ func TestSimulateRunValidation(t *testing.T) {
 	}
 	if _, err := SimulateRun(10, 10, false, model, 0); err == nil {
 		t.Error("zero cores accepted")
+	}
+}
+
+// PlanCost prices a real per-shard assignment at its straggler-bound cost:
+// a skewed plan with the same total edges must cost more wall-clock (and a
+// lower aggregate rate) than a balanced one, and a balanced plan must price
+// identically to SimulateRun deriving the same loads from Partition.
+func TestPlanCost(t *testing.T) {
+	model := Model{PerCoreRate: 1e8, LaunchLatency: 10 * time.Millisecond}
+	balanced := []int64{250, 250, 250, 250}
+	skewed := []int64{700, 100, 100, 100}
+
+	b, err := PlanCost(balanced, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := PlanCost(skewed, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalEdges != 1000 || s.TotalEdges != 1000 {
+		t.Fatalf("totals %d, %d, want 1000", b.TotalEdges, s.TotalEdges)
+	}
+	if s.Time <= b.Time {
+		t.Errorf("skewed plan time %v not worse than balanced %v", s.Time, b.Time)
+	}
+	if s.AggregateRate >= b.AggregateRate {
+		t.Errorf("skewed rate %g not below balanced %g", s.AggregateRate, b.AggregateRate)
+	}
+	if s.MaxEdgesPerCore != 700 || s.MinEdgesPerCore != 100 {
+		t.Errorf("skewed load bounds [%d, %d], want [100, 700]", s.MinEdgesPerCore, s.MaxEdgesPerCore)
+	}
+	if b.Cores != 4 || s.Cores != 4 {
+		t.Errorf("cores %d, %d, want 4", b.Cores, s.Cores)
+	}
+}
+
+func TestPlanCostMatchesSimulateRun(t *testing.T) {
+	model := Model{PerCoreRate: 2.77e7, LaunchLatency: 5 * time.Millisecond}
+	const cores = 7
+	rep, err := SimulateRun(trillionBNNZ, trillionCNNZ, false, model, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := parallel.Partition(trillionBNNZ, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]int64, cores)
+	for i, r := range parts {
+		loads[i] = int64(r.Len()) * trillionCNNZ
+	}
+	planRep, err := PlanCost(loads, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planRep != rep {
+		t.Errorf("PlanCost of Partition loads %+v != SimulateRun %+v", planRep, rep)
+	}
+}
+
+func TestPlanCostValidation(t *testing.T) {
+	model := Model{PerCoreRate: 1e8}
+	if _, err := PlanCost(nil, model); err == nil {
+		t.Error("empty plan accepted")
+	}
+	if _, err := PlanCost([]int64{10, -1}, model); err == nil {
+		t.Error("negative shard load accepted")
+	}
+	if _, err := PlanCost([]int64{10}, Model{}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	// All-empty shards are legal (more shards than triples) but cost only
+	// the launch latency.
+	rep, err := PlanCost([]int64{0, 0}, Model{PerCoreRate: 1e8, LaunchLatency: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time != time.Second || rep.TotalEdges != 0 {
+		t.Errorf("empty plan report %+v", rep)
 	}
 }

@@ -143,10 +143,23 @@ const compatBatchSize = 512
 // row by row in worker order therefore yields canonical sorted CSR rows
 // with no comparison sort — the property sparse.CSRBuilder exploits.
 func (g *Generator) StreamBatches(ctx context.Context, np, batchSize int, emit func(p int, batch []Edge) error) error {
+	return g.streamBRange(ctx, 0, g.b.NNZ(), np, batchSize, emit)
+}
+
+// streamBRange is the engine behind StreamBatches and StreamShard: it
+// generates the edges of B triples [bLo, bHi) (CSC order) × C with np
+// workers, each owning a contiguous slice of the range. All of StreamBatches'
+// guarantees — batch reuse, per-batch context checks, the band-order property
+// — hold within the range, because a sub-range of CSC-sorted triples is
+// itself CSC-sorted.
+func (g *Generator) streamBRange(ctx context.Context, bLo, bHi, np, batchSize int, emit func(p int, batch []Edge) error) error {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
-	parts, err := parallel.Partition(g.b.NNZ(), np)
+	if bLo < 0 || bHi < bLo || bHi > g.b.NNZ() {
+		return fmt.Errorf("gen: B-triple range [%d, %d) outside [0, %d)", bLo, bHi, g.b.NNZ())
+	}
+	parts, err := parallel.Partition(bHi-bLo, np)
 	if err != nil {
 		return err
 	}
@@ -166,7 +179,7 @@ func (g *Generator) StreamBatches(ctx context.Context, np, batchSize int, emit f
 			return nil
 		}
 		cTr := g.c.Tr
-		for _, tb := range g.b.Tr[parts[p].Lo:parts[p].Hi] {
+		for _, tb := range g.b.Tr[bLo+parts[p].Lo : bLo+parts[p].Hi] {
 			rBase := int64(tb.Row) * mC
 			cBase := int64(tb.Col) * nC
 			if loop >= rBase && loop < rBase+mC && loop >= cBase && loop < cBase+nC {
@@ -234,9 +247,24 @@ func (g *Generator) StreamContext(ctx context.Context, np int, emit func(worker 
 // global coordinate but discarding the edges, and returns the total emitted.
 // This is the honest "edges generated per second" workload of Figure 3: the
 // full index arithmetic runs; only the store is elided. The returned
-// checksum deters dead-code elimination in benchmarks.
+// checksum deters dead-code elimination in benchmarks. CountEdges and
+// CountShard run the identical engine (countBRange), so their rates compare
+// apples-to-apples and the shard-checksum invariant — XOR of per-shard
+// checksums equals the whole-graph checksum — rests on one fold, not two
+// copies of it.
 func (g *Generator) CountEdges(np int) (total int64, checksum int64, err error) {
-	parts, err := parallel.Partition(g.b.NNZ(), np)
+	return g.countBRange(context.Background(), 0, g.b.NNZ(), np)
+}
+
+// countBRange enumerates the edges of B triples [bLo, bHi) × C with np
+// workers, counting and checksum-folding instead of storing — the count
+// analogue of streamBRange. The context is checked once per B triple
+// (cheaper than the fan-out it gates).
+func (g *Generator) countBRange(ctx context.Context, bLo, bHi, np int) (total, checksum int64, err error) {
+	if bLo < 0 || bHi < bLo || bHi > g.b.NNZ() {
+		return 0, 0, fmt.Errorf("gen: B-triple range [%d, %d) outside [0, %d)", bLo, bHi, g.b.NNZ())
+	}
+	parts, err := parallel.Partition(bHi-bLo, np)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -244,11 +272,14 @@ func (g *Generator) CountEdges(np int) (total int64, checksum int64, err error) 
 	sums := make([]int64, np)
 	mC := int64(g.c.NumRows)
 	nC := int64(g.c.NumCols)
-	err = parallel.Run(np, func(p int) error {
+	err = parallel.RunContext(ctx, np, func(ctx context.Context, p int) error {
 		var n, s int64
 		cTr := g.c.Tr
 		loop := g.loopRow
-		for _, tb := range g.b.Tr[parts[p].Lo:parts[p].Hi] {
+		for _, tb := range g.b.Tr[bLo+parts[p].Lo : bLo+parts[p].Hi] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rBase := int64(tb.Row) * mC
 			cBase := int64(tb.Col) * nC
 			for _, tc := range cTr {

@@ -34,6 +34,112 @@ func FuzzReadTSV(f *testing.F) {
 	})
 }
 
+// clampIndex folds an arbitrary fuzzed int64 into a valid [0, dim) index.
+func clampIndex(x, dim int64) int64 {
+	x %= dim
+	if x < 0 {
+		x += dim
+	}
+	return x
+}
+
+// FuzzTSVEdgeWriterRoundTrip is the writer-side half of the round-trip
+// property: anything the streaming TSV edge writer emits — batch writes,
+// single-edge writes, and comments fuzzed for injection — the TSV reader
+// parses back to exactly the written triples, in order.
+func FuzzTSVEdgeWriterRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(5), int64(7), int64(7), int64(-3), "end state=done")
+	f.Add(int64(-9), int64(64), int64(9223372036854775807), int64(3), int64(2), int64(0), "a\nb\t# 1 2 3")
+	f.Fuzz(func(t *testing.T, r1, c1, v1, r2, c2, v2 int64, comment string) {
+		const dim = 16
+		if len(comment) > 256 {
+			comment = comment[:256]
+		}
+		edges := []Edge{
+			{Row: clampIndex(r1, dim), Col: clampIndex(c1, dim), Val: v1},
+			{Row: clampIndex(r2, dim), Col: clampIndex(c2, dim), Val: v2},
+		}
+		var buf bytes.Buffer
+		ew := NewTSVEdgeWriter(&buf)
+		if err := ew.Comment(comment); err != nil {
+			t.Fatal(err)
+		}
+		if err := ew.WriteEdges(edges[:1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ew.WriteEdge(edges[1].Row, edges[1].Col, edges[1].Val); err != nil {
+			t.Fatal(err)
+		}
+		if err := ew.Comment(comment); err != nil {
+			t.Fatal(err)
+		}
+		if err := ew.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadTSV(&buf, dim, dim)
+		if err != nil {
+			t.Fatalf("reader rejected writer output: %v", err)
+		}
+		if m.NNZ() != len(edges) {
+			t.Fatalf("round trip produced %d triples, wrote %d (comment %q injected?)", m.NNZ(), len(edges), comment)
+		}
+		for i, tr := range m.Tr {
+			if int64(tr.Row) != edges[i].Row || int64(tr.Col) != edges[i].Col || tr.Val != edges[i].Val {
+				t.Fatalf("triple %d: got (%d,%d,%d), wrote (%d,%d,%d)",
+					i, tr.Row, tr.Col, tr.Val, edges[i].Row, edges[i].Col, edges[i].Val)
+			}
+		}
+	})
+}
+
+// FuzzMatrixMarketEdgeWriterRoundTrip: same property for the MatrixMarket
+// streaming writer, whose header (with fuzzed comments) must stay parseable
+// and whose 1-based entries must land back on the written 0-based triples.
+func FuzzMatrixMarketEdgeWriterRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(5), int64(7), int64(7), int64(-3), "kronserve job j000001")
+	f.Add(int64(15), int64(15), int64(-1), int64(0), int64(0), int64(1), "3 3 9\n1 1 1")
+	f.Fuzz(func(t *testing.T, r1, c1, v1, r2, c2, v2 int64, comment string) {
+		const dim = 16
+		if len(comment) > 256 {
+			comment = comment[:256]
+		}
+		edges := []Edge{
+			{Row: clampIndex(r1, dim), Col: clampIndex(c1, dim), Val: v1},
+			{Row: clampIndex(r2, dim), Col: clampIndex(c2, dim), Val: v2},
+		}
+		var buf bytes.Buffer
+		ew, err := NewMatrixMarketEdgeWriter(&buf, dim, dim, int64(len(edges)), comment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ew.WriteEdges(edges[:1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ew.WriteEdge(edges[1].Row, edges[1].Col, edges[1].Val); err != nil {
+			t.Fatal(err)
+		}
+		if err := ew.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("reader rejected writer output: %v", err)
+		}
+		if m.NumRows != dim || m.NumCols != dim {
+			t.Fatalf("round trip dims %dx%d, wrote %dx%d", m.NumRows, m.NumCols, dim, dim)
+		}
+		if m.NNZ() != len(edges) {
+			t.Fatalf("round trip produced %d triples, wrote %d (comment %q injected?)", m.NNZ(), len(edges), comment)
+		}
+		for i, tr := range m.Tr {
+			if int64(tr.Row) != edges[i].Row || int64(tr.Col) != edges[i].Col || tr.Val != edges[i].Val {
+				t.Fatalf("triple %d: got (%d,%d,%d), wrote (%d,%d,%d)",
+					i, tr.Row, tr.Col, tr.Val, edges[i].Row, edges[i].Col, edges[i].Val)
+			}
+		}
+	})
+}
+
 // FuzzReadMatrixMarket checks the MatrixMarket parser never panics and that
 // accepted inputs keep their dimensions consistent.
 func FuzzReadMatrixMarket(f *testing.F) {

@@ -12,6 +12,8 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
@@ -59,17 +61,35 @@ func (r DesignRequest) Key() string {
 	return b.String()
 }
 
+// Hash returns the design's generation identity: a short hex digest over the
+// loop mode and the points in request order. Unlike Key, Hash does NOT sort
+// the points — closed-form properties are factor-order invariant, but shard
+// plans and streams are not (generation follows the B factors' realization
+// order) — so two factor orders share a property cache line yet carry
+// distinct shard-plan identities.
+func (r DesignRequest) Hash() string {
+	h := sha256.New()
+	h.Write([]byte(r.Loop))
+	for _, p := range r.Points {
+		fmt.Fprintf(h, "|%d", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
 // DesignProperties is the JSON rendering of a design's exact property set.
 // Counts that routinely exceed int64 (the paper designs 10^30-edge graphs)
 // travel as decimal strings.
 type DesignProperties struct {
-	Design          DesignRequest `json:"design"`
-	Vertices        string        `json:"vertices"`
-	Edges           string        `json:"edges"`
-	Triangles       string        `json:"triangles"`
-	MaxDegree       string        `json:"maxDegree"`
-	Alpha           float64       `json:"alpha"`
-	DistinctDegrees int           `json:"distinctDegrees"`
+	Design DesignRequest `json:"design"`
+	// Hash is the design's generation identity, the {hash} of the shard-plan
+	// endpoint /v1/designs/{hash}/shardplan.
+	Hash            string  `json:"hash"`
+	Vertices        string  `json:"vertices"`
+	Edges           string  `json:"edges"`
+	Triangles       string  `json:"triangles"`
+	MaxDegree       string  `json:"maxDegree"`
+	Alpha           float64 `json:"alpha"`
+	DistinctDegrees int     `json:"distinctDegrees"`
 	// Cached reports whether the properties were served from the LRU cache
 	// rather than recomputed.
 	Cached bool `json:"cached"`
@@ -87,6 +107,7 @@ func computeProperties(req DesignRequest) (*DesignProperties, error) {
 	}
 	return &DesignProperties{
 		Design:          req,
+		Hash:            req.Hash(),
 		Vertices:        p.Vertices.String(),
 		Edges:           p.Edges.String(),
 		Triangles:       p.Triangles.String(),

@@ -39,6 +39,14 @@ type Config struct {
 	// oldest finished jobs are evicted first. Running jobs never count
 	// against it.
 	MaxJobHistory int
+	// MaxShards bounds the shard count of plans and sharded jobs (a plan
+	// response carries one entry per shard, so an unbounded count would let
+	// one GET allocate arbitrarily).
+	MaxShards int
+	// MaxChecksumEdges bounds the edges a ?checksums=1 shard-plan request may
+	// enumerate synchronously; larger plans must be verified shard-by-shard
+	// by the processes that generate them.
+	MaxChecksumEdges int64
 }
 
 // DefaultConfig returns production-shaped limits: bounded admission, a B
@@ -56,6 +64,8 @@ func DefaultConfig() Config {
 		QueueDepth:        64,
 		AttachTimeout:     2 * time.Minute,
 		MaxJobHistory:     256,
+		MaxShards:         1 << 16,
+		MaxChecksumEdges:  1 << 30,
 	}
 }
 
@@ -64,6 +74,10 @@ type Service struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *designCache
+	// hashes maps a design's order-sensitive hash back to its request so
+	// /v1/designs/{hash}/shardplan can rebuild plans; registered on every
+	// design query and job submission.
+	hashes  *lru[DesignRequest]
 	manager *Manager
 	mux     *http.ServeMux
 }
@@ -95,11 +109,22 @@ func New(cfg Config) *Service {
 	if cfg.MaxJobHistory <= 0 {
 		cfg.MaxJobHistory = def.MaxJobHistory
 	}
+	if cfg.MaxShards <= 0 {
+		cfg.MaxShards = def.MaxShards
+	}
+	if cfg.MaxChecksumEdges <= 0 {
+		cfg.MaxChecksumEdges = def.MaxChecksumEdges
+	}
 	s := &Service{
 		cfg:     cfg,
 		metrics: &Metrics{},
 		cache:   newDesignCache(cfg.CacheSize),
-		mux:     http.NewServeMux(),
+		// The hash registry is a lookup table, not a cache: a negative
+		// CacheSize legitimately disables the property and plan caches
+		// (latency only), but a capacity-0 registry would make every
+		// /shardplan request 404 forever, so it keeps a floor of one entry.
+		hashes: newLRU[DesignRequest](max(cfg.CacheSize, 1)),
+		mux:    http.NewServeMux(),
 	}
 	s.manager = NewManager(cfg, s.metrics)
 	s.routes()
@@ -118,6 +143,7 @@ func (s *Service) Close() { s.manager.Close() }
 
 func (s *Service) routes() {
 	s.mux.HandleFunc("POST /v1/designs", s.handleDesign)
+	s.mux.HandleFunc("GET /v1/designs/{hash}/shardplan", s.handleShardPlan)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -171,8 +197,13 @@ func (s *Service) handleDesign(w http.ResponseWriter, r *http.Request) {
 	if props, ok := s.cache.get(key); ok {
 		s.metrics.CacheHits.Add(1)
 		out := *props
-		out.Design = req // echo the caller's factor order
+		// Echo the caller's factor order — and its hash: closed-form
+		// properties are order-invariant (hence the shared cache line), but
+		// the shard-plan identity is not.
+		out.Design = req
+		out.Hash = req.Hash()
 		out.Cached = true
+		s.hashes.put(out.Hash, req)
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
@@ -181,6 +212,7 @@ func (s *Service) handleDesign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.hashes.put(props.Hash, req)
 	// Invalid designs don't count as misses: the miss/hit ratio should
 	// reflect cacheable traffic only.
 	s.metrics.CacheMisses.Add(1)
@@ -204,6 +236,8 @@ func (s *Service) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Any design the service generates is addressable for shard planning.
+	s.hashes.put(req.DesignRequest.Hash(), req.DesignRequest)
 	w.Header().Set("Location", "/v1/jobs/"+j.ID())
 	writeJSON(w, http.StatusCreated, j.Status())
 }
@@ -287,6 +321,16 @@ func (s *Service) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if st.State != StateDone {
 		writeError(w, http.StatusConflict,
 			fmt.Sprintf("job %s is %s; only done jobs can be validated", j.ID(), st.State))
+		return
+	}
+	if j.shard != nil {
+		// Validation compares a full regeneration against the design's closed
+		// forms; a shard job only produced a slice, so "measured vs predicted"
+		// is defined at the design level, not per shard. Shard completeness is
+		// verified through the plan's edge counts and checksums instead.
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("job %s generated shard %d/%d; validation is design-level — validate an unsharded job, and verify shards against the plan's counts and checksums",
+				j.ID(), j.shard.Shard, j.shard.Shards))
 		return
 	}
 	if j.totalEdges > kron.MaxValidationEdges {

@@ -63,6 +63,16 @@ type JobRequest struct {
 	Split int `json:"split"`
 	// Sink is "stream" (default) or "discard".
 	Sink string `json:"sink"`
+	// Shards makes the job shard-native: the design's work is split into
+	// this many deterministic cost-balanced shards and the job generates
+	// only shard Shard. 0 means unsharded (the whole graph). Every replica
+	// submitting the same (design, split, shards) rebuilds the identical
+	// plan, so N kronserve processes can each take one shard with no
+	// coordinator.
+	Shards int `json:"shards,omitempty"`
+	// Shard is the shard index in [0, Shards); meaningful only when Shards
+	// is positive.
+	Shard int `json:"shard,omitempty"`
 }
 
 // Job is one admitted generation job.
@@ -74,6 +84,9 @@ type Job struct {
 	split      int
 	sink       string
 	totalEdges int64
+	// shard is the slice of the plan this job generates; nil for unsharded
+	// jobs.
+	shard *kron.ShardInfo
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -138,17 +151,32 @@ func (j *Job) Attach() (<-chan []kron.Edge, error) {
 	return j.edges, nil
 }
 
+// ShardStatus is the JSON rendering of a sharded job's slice of the plan.
+type ShardStatus struct {
+	Shard  int   `json:"shard"`
+	Shards int   `json:"shards"`
+	BLo    int   `json:"bLo"`
+	BHi    int   `json:"bHi"`
+	Edges  int64 `json:"edges"`
+}
+
 // JobStatus is the JSON rendering of a job's state and progress.
 type JobStatus struct {
-	ID             string        `json:"id"`
-	State          JobState      `json:"state"`
-	Design         DesignRequest `json:"design"`
-	Workers        int           `json:"workers"`
-	Split          int           `json:"split"`
-	Sink           string        `json:"sink"`
-	TotalEdges     int64         `json:"totalEdges"`
-	GeneratedEdges int64         `json:"generatedEdges"`
-	StreamedEdges  int64         `json:"streamedEdges"`
+	ID     string        `json:"id"`
+	State  JobState      `json:"state"`
+	Design DesignRequest `json:"design"`
+	// DesignHash is the identity under which the design's shard plans are
+	// served (/v1/designs/{hash}/shardplan).
+	DesignHash string `json:"designHash"`
+	Workers    int    `json:"workers"`
+	Split      int    `json:"split"`
+	Sink       string `json:"sink"`
+	// Shard identifies the slice of the plan a sharded job generates; absent
+	// for unsharded jobs. TotalEdges counts only this shard's edges.
+	Shard          *ShardStatus `json:"shard,omitempty"`
+	TotalEdges     int64        `json:"totalEdges"`
+	GeneratedEdges int64        `json:"generatedEdges"`
+	StreamedEdges  int64        `json:"streamedEdges"`
 	// Progress is generated/total in [0,1].
 	Progress float64 `json:"progress"`
 	// EdgesPerSec is the job's generation rate while running and its final
@@ -171,6 +199,7 @@ func (j *Job) Status() JobStatus {
 		ID:             j.id,
 		State:          state,
 		Design:         j.req.DesignRequest,
+		DesignHash:     j.req.DesignRequest.Hash(),
 		Workers:        j.workers,
 		Split:          j.split,
 		Sink:           j.sink,
@@ -178,6 +207,15 @@ func (j *Job) Status() JobStatus {
 		GeneratedEdges: gen,
 		StreamedEdges:  j.streamed.Load(),
 		CreatedAt:      created,
+	}
+	if j.shard != nil {
+		st.Shard = &ShardStatus{
+			Shard:  j.shard.Shard,
+			Shards: j.shard.Shards,
+			BLo:    j.shard.BLo,
+			BHi:    j.shard.BHi,
+			Edges:  j.shard.Edges,
+		}
 	}
 	if !started.IsZero() {
 		st.StartedAt = &started
@@ -207,6 +245,9 @@ func (j *Job) Status() JobStatus {
 type Manager struct {
 	cfg     Config
 	metrics *Metrics
+	// plans caches deterministic shard plans by (design hash, split, shards);
+	// see planFor in shardplan.go.
+	plans *lru[[]kron.ShardInfo]
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -222,7 +263,12 @@ var ErrBusy = errors.New("service: concurrent job limit reached")
 
 // NewManager returns a Manager using cfg's limits and recording to metrics.
 func NewManager(cfg Config, metrics *Metrics) *Manager {
-	return &Manager{cfg: cfg, metrics: metrics, jobs: make(map[string]*Job)}
+	return &Manager{
+		cfg:     cfg,
+		metrics: metrics,
+		plans:   newLRU[[]kron.ShardInfo](cfg.CacheSize),
+		jobs:    make(map[string]*Job),
+	}
 }
 
 // Submit validates the request against the server's admission limits,
@@ -272,6 +318,32 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	if sink != SinkStream && sink != SinkDiscard {
 		return nil, fmt.Errorf("unknown sink %q (want %q or %q)", sink, SinkStream, SinkDiscard)
 	}
+	// Shard identity: validated design-side like the split above, so a bad
+	// spec is a 400 before any slot or memory is committed. The plan comes
+	// from the LRU-backed planFor — deterministic on rebuild, so a cache
+	// eviction between a coordinator fetching the plan and a replica
+	// submitting its shard job cannot change the ranges.
+	var shard *kron.ShardInfo
+	totalEdges := edges.Int64()
+	if req.Shards < 0 {
+		return nil, fmt.Errorf("shards %d; a sharded job needs shards ≥ 1 (0 means unsharded)", req.Shards)
+	}
+	if req.Shards == 0 && req.Shard != 0 {
+		return nil, fmt.Errorf("shard %d given without shards; set shards to the plan's total shard count", req.Shard)
+	}
+	if req.Shards > 0 {
+		if req.Shard < 0 || req.Shard >= req.Shards {
+			return nil, fmt.Errorf("shard %d outside [0, %d)", req.Shard, req.Shards)
+		}
+		plan, _, err := m.planFor(req.DesignRequest, d, split, req.Shards)
+		if err != nil {
+			return nil, err
+		}
+		s := plan[req.Shard]
+		shard = &s
+		totalEdges = s.Edges
+		m.metrics.ShardJobs.Add(1)
+	}
 
 	m.mu.Lock()
 	if m.closed {
@@ -293,7 +365,8 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		workers:    workers,
 		split:      split,
 		sink:       sink,
-		totalEdges: edges.Int64(),
+		totalEdges: totalEdges,
+		shard:      shard,
 		ctx:        ctx,
 		cancel:     cancel,
 		state:      StatePending,
@@ -401,7 +474,7 @@ func (m *Manager) run(j *Job) {
 // and pushed into the stream channel (blocking on a full channel —
 // backpressure); discard batches only bump the progress counters.
 func (m *Manager) generate(j *Job, g *kron.Generator) error {
-	return g.StreamBatches(j.ctx, j.workers, batchSize, func(p int, batch []kron.Edge) error {
+	emit := func(p int, batch []kron.Edge) error {
 		n := int64(len(batch))
 		j.generated.Add(n)
 		m.metrics.EdgesGenerated.Add(n)
@@ -419,7 +492,11 @@ func (m *Manager) generate(j *Job, g *kron.Generator) error {
 		case <-j.ctx.Done():
 			return j.ctx.Err()
 		}
-	})
+	}
+	if j.shard != nil {
+		return g.StreamShard(j.ctx, *j.shard, j.workers, batchSize, emit)
+	}
+	return g.StreamBatches(j.ctx, j.workers, batchSize, emit)
 }
 
 // finish records the terminal state exactly once per job. Classification

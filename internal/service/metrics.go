@@ -28,6 +28,11 @@ type Metrics struct {
 
 	ValidationsRun   atomic.Int64 // counter: validation passes executed
 	ValidationsExact atomic.Int64 // counter: validations reporting exact agreement
+
+	ShardJobs        atomic.Int64 // counter: sharded generation jobs admitted
+	ShardPlansBuilt  atomic.Int64 // counter: shard plans computed (plan-cache misses)
+	PlanCacheHits    atomic.Int64 // counter: shard plans served from the plan LRU
+	PlansChecksummed atomic.Int64 // counter: plans verified by full checksum enumeration
 }
 
 // EdgesPerSec returns the service-lifetime aggregate generation rate:
@@ -67,6 +72,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"kronserve_design_cache_misses_total", "Design cache misses.", "counter", m.CacheMisses.Load()},
 		{"kronserve_validations_total", "Validation passes executed.", "counter", m.ValidationsRun.Load()},
 		{"kronserve_validations_exact_total", "Validations reporting exact agreement.", "counter", m.ValidationsExact.Load()},
+		{"kronserve_shard_jobs_total", "Sharded generation jobs admitted.", "counter", m.ShardJobs.Load()},
+		{"kronserve_shard_plans_built_total", "Shard plans computed (plan-cache misses).", "counter", m.ShardPlansBuilt.Load()},
+		{"kronserve_shard_plan_cache_hits_total", "Shard plans served from the plan LRU.", "counter", m.PlanCacheHits.Load()},
+		{"kronserve_shard_plans_checksummed_total", "Plans verified by full checksum enumeration.", "counter", m.PlansChecksummed.Load()},
 	} {
 		if err := emit(row.name, row.help, row.typ, row.value); err != nil {
 			return n, err

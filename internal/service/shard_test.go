@@ -1,0 +1,341 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graphio"
+	"repro/internal/semiring"
+	"repro/internal/sparse"
+	"repro/kron"
+)
+
+func getJSON[T any](t *testing.T, url string, wantStatus int) T {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s: %d, want %d: %s", url, resp.StatusCode, wantStatus, body)
+	}
+	return decodeBody[T](t, resp)
+}
+
+// TestServiceShardAPIEndToEnd drives the coordinator-free deployment recipe
+// over HTTP: POST the design to learn its hash, fetch the K-shard plan (with
+// verification checksums), run one shard job per shard as if K replicas each
+// took one, and reassemble the streamed TSV bodies into the full graph —
+// which must equal the serial Kronecker realization entry-for-entry, with
+// each body's edge count matching its shard's closed-form plan entry.
+func TestServiceShardAPIEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5, 9}, Loop: "hub"}
+	const shards = 3
+
+	props := decodeBody[DesignProperties](t, postJSON(t, ts.URL+"/v1/designs", design))
+	if props.Hash == "" || props.Hash != design.Hash() {
+		t.Fatalf("designs endpoint hash %q, want %q", props.Hash, design.Hash())
+	}
+
+	plan := getJSON[ShardPlanResponse](t,
+		fmt.Sprintf("%s/v1/designs/%s/shardplan?shards=%d&checksums=1", ts.URL, props.Hash, shards),
+		http.StatusOK)
+	if len(plan.Plan) != shards || plan.Shards != shards {
+		t.Fatalf("plan has %d shards, want %d", len(plan.Plan), shards)
+	}
+	if !plan.Checksummed {
+		t.Fatal("plan not checksummed despite checksums=1")
+	}
+	d, err := design.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalEdges != d.NumEdges().Int64() {
+		t.Fatalf("plan totalEdges %d, design says %s", plan.TotalEdges, d.NumEdges())
+	}
+
+	// K "replicas": one shard job each, submitted with the plan's split so
+	// every replica prices the identical B ⊗ C decomposition.
+	var tr []sparse.Triple[int64]
+	for _, sh := range plan.Plan {
+		job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+			DesignRequest: design, Workers: 2, Split: plan.Split,
+			Shards: shards, Shard: sh.Shard,
+		}))
+		if job.Shard == nil || job.Shard.Shard != sh.Shard || job.Shard.Shards != shards {
+			t.Fatalf("job %s shard status %+v, want shard %d/%d", job.ID, job.Shard, sh.Shard, shards)
+		}
+		if job.TotalEdges != sh.Edges {
+			t.Fatalf("job %s totalEdges %d, plan shard says %d", job.ID, job.TotalEdges, sh.Edges)
+		}
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/edges")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(raw), fmt.Sprintf("shard %d/%d", sh.Shard, shards)) {
+			t.Fatalf("shard %d stream header missing shard identity", sh.Shard)
+		}
+		if !strings.Contains(string(raw), "# end state=done") {
+			t.Fatalf("shard %d stream missing done trailer; tail: %q", sh.Shard, tail(string(raw), 200))
+		}
+		n := int(d.NumVertices().Int64())
+		body, err := graphio.ReadTSV(bytes.NewReader(raw), n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(body.NNZ()) != sh.Edges {
+			t.Fatalf("shard %d streamed %d edges, plan says %d", sh.Shard, body.NNZ(), sh.Edges)
+		}
+		tr = append(tr, body.Tr...)
+		waitForState(t, ts.URL, job.ID, StateDone)
+	}
+
+	n := int(d.NumVertices().Int64())
+	got, err := sparse.NewCOO(n, n, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Realize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Equal(got, want, semiring.PlusTimesInt64()) {
+		t.Fatal("reassembled shard streams differ from the serial Kronecker realization")
+	}
+
+	// The shard counters moved.
+	var buf bytes.Buffer
+	if _, err := s.Metrics().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("kronserve_shard_jobs_total %d", shards),
+		"kronserve_shard_plans_built_total 1",
+		"kronserve_shard_plans_checksummed_total 1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestServiceShardInvalidSpecs is the regression suite for bad shard
+// parameters: every malformed spec must be a clean 400 (or 404 for unknown
+// hashes), never a panic or a well-formed-looking empty 200.
+func TestServiceShardInvalidSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+	props := decodeBody[DesignProperties](t, postJSON(t, ts.URL+"/v1/designs", design))
+
+	for name, req := range map[string]JobRequest{
+		"negative shards":      {DesignRequest: design, Shards: -1},
+		"shard == shards":      {DesignRequest: design, Shards: 2, Shard: 2},
+		"shard over":           {DesignRequest: design, Shards: 2, Shard: 7},
+		"negative shard":       {DesignRequest: design, Shards: 2, Shard: -1},
+		"shard without shards": {DesignRequest: design, Shard: 1},
+		"shards over bound":    {DesignRequest: design, Shards: 1 << 20},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/jobs", req)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400 (%s)", name, resp.StatusCode, body)
+		}
+	}
+
+	base := ts.URL + "/v1/designs/" + props.Hash + "/shardplan"
+	for name, url := range map[string]string{
+		"zero shards":     base + "?shards=0",
+		"negative shards": base + "?shards=-3",
+		"missing shards":  base,
+		"garbage shards":  base + "?shards=banana",
+		"bad split":       base + "?shards=2&split=99",
+		"garbage split":   base + "?shards=2&split=x",
+		"over bound":      base + "?shards=1048576",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400 (%s)", name, resp.StatusCode, body)
+		}
+		// The error envelope must be JSON, not a panic trace or empty body.
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: malformed error body %q", name, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/designs/deadbeefdeadbeef/shardplan?shards=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown hash: %d, want 404", resp.StatusCode)
+	}
+
+	// Checksum enumeration over the bound is 422, but the plan itself stays
+	// fetchable without checksums.
+	_, ts2 := newTestServer(t, Config{MaxChecksumEdges: 10})
+	props2 := decodeBody[DesignProperties](t, postJSON(t, ts2.URL+"/v1/designs", design))
+	r2, err := http.Get(ts2.URL + "/v1/designs/" + props2.Hash + "/shardplan?shards=2&checksums=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("over-bound checksums: %d, want 422", r2.StatusCode)
+	}
+	plain := getJSON[ShardPlanResponse](t, ts2.URL+"/v1/designs/"+props2.Hash+"/shardplan?shards=2", http.StatusOK)
+	if plain.Checksummed || len(plain.Plan) != 2 {
+		t.Errorf("plain plan after 422: checksummed=%v shards=%d", plain.Checksummed, len(plain.Plan))
+	}
+}
+
+// TestServiceShardPlanStableAcrossEviction pins the determinism fix: a shard
+// plan evicted from the LRU (here by a capacity-1 cache) must rebuild to the
+// identical ranges, so a job admitted after eviction generates exactly the
+// slice the coordinator's original plan promised.
+func TestServiceShardPlanStableAcrossEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: 1})
+	a := DesignRequest{Points: []int{3, 4, 5, 9}, Loop: "hub"}
+	b := DesignRequest{Points: []int{3, 4, 5}, Loop: "leaf"}
+	aProps := decodeBody[DesignProperties](t, postJSON(t, ts.URL+"/v1/designs", a))
+
+	planURL := fmt.Sprintf("%s/v1/designs/%s/shardplan?shards=3", ts.URL, aProps.Hash)
+	first := getJSON[ShardPlanResponse](t, planURL, http.StatusOK)
+	if first.Cached {
+		t.Fatal("first plan fetch claims to be cached")
+	}
+	hit := getJSON[ShardPlanResponse](t, planURL, http.StatusOK)
+	if !hit.Cached {
+		t.Fatal("immediate re-fetch missed the plan cache")
+	}
+	if !reflect.DeepEqual(first.Plan, hit.Plan) {
+		t.Fatal("cached plan differs from built plan")
+	}
+
+	// Evict A's plan: the capacity-1 LRU holds only the most recent plan.
+	// POSTing design B also evicts A's hash from the capacity-1 registry —
+	// the documented recovery is to re-POST the design, which re-registers
+	// the hash without touching the (still evicted) plan cache.
+	bProps := decodeBody[DesignProperties](t, postJSON(t, ts.URL+"/v1/designs", b))
+	getJSON[ShardPlanResponse](t, fmt.Sprintf("%s/v1/designs/%s/shardplan?shards=2", ts.URL, bProps.Hash), http.StatusOK)
+	if resp, err := http.Get(planURL); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("evicted hash: %d, want 404", resp.StatusCode)
+		}
+	}
+	decodeBody[DesignProperties](t, postJSON(t, ts.URL+"/v1/designs", a))
+
+	rebuilt := getJSON[ShardPlanResponse](t, planURL, http.StatusOK)
+	if rebuilt.Cached {
+		t.Fatal("plan survived eviction from a capacity-1 cache; eviction path untested")
+	}
+	if !reflect.DeepEqual(first.Plan, rebuilt.Plan) {
+		t.Fatalf("rebuilt plan differs from evicted plan:\nfirst: %+v\nrebuilt: %+v", first.Plan, rebuilt.Plan)
+	}
+	if rebuilt.Split != first.Split || rebuilt.TotalEdges != first.TotalEdges {
+		t.Fatalf("rebuilt plan envelope differs: %+v vs %+v", rebuilt, first)
+	}
+
+	// A shard job submitted now — plan long evicted — must carry the same
+	// range the original plan promised.
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		DesignRequest: a, Workers: 1, Split: first.Split, Shards: 3, Shard: 1, Sink: SinkDiscard,
+	}))
+	want := first.Plan[1]
+	if job.Shard == nil || job.Shard.BLo != want.BLo || job.Shard.BHi != want.BHi || job.TotalEdges != want.Edges {
+		t.Fatalf("post-eviction job shard %+v (totalEdges %d), plan promised %+v", job.Shard, job.TotalEdges, want)
+	}
+	waitForState(t, ts.URL, job.ID, StateDone)
+	_ = s
+}
+
+// TestServiceShardPlanWithCachingDisabled pins the lookup-table/cache
+// distinction: a negative CacheSize disables the property and plan caches
+// (latency only), but the hash registry keeps a floor of one entry, so the
+// shard-plan endpoint still works right after its design is POSTed.
+func TestServiceShardPlanWithCachingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: -1})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+	props := decodeBody[DesignProperties](t, postJSON(t, ts.URL+"/v1/designs", design))
+	plan := getJSON[ShardPlanResponse](t, ts.URL+"/v1/designs/"+props.Hash+"/shardplan?shards=2", http.StatusOK)
+	if len(plan.Plan) != 2 || plan.Cached {
+		t.Fatalf("plan with caching disabled: %+v", plan)
+	}
+}
+
+// TestServiceShardJobValidateRejected checks that design-level validation
+// refuses sharded jobs with 422 instead of comparing a slice against the
+// whole design's closed forms.
+func TestServiceShardJobValidateRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		DesignRequest: design, Workers: 1, Shards: 2, Shard: 0, Sink: SinkDiscard,
+	}))
+	waitForState(t, ts.URL, job.ID, StateDone)
+	resp, err := http.Get(ts.URL + "/v1/validate/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("validate sharded job: %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestShardPlanAgreesWithGenerator cross-checks the service's closed-form
+// plan against the realized generator's and against kron.PlanShards — the
+// three faces of "the plan is a pure function of (design, split, shards)".
+func TestShardPlanAgreesWithGenerator(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := DesignRequest{Points: []int{4, 3, 5}, Loop: "leaf"} // non-sorted order on purpose
+	props := decodeBody[DesignProperties](t, postJSON(t, ts.URL+"/v1/designs", req))
+	plan := getJSON[ShardPlanResponse](t, ts.URL+"/v1/designs/"+props.Hash+"/shardplan?shards=4&split=1", http.StatusOK)
+
+	d, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := kron.PlanShards(d, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Plan, want) {
+		t.Fatalf("service plan %+v != kron.PlanShards %+v", plan.Plan, want)
+	}
+	g, err := kron.NewGenerator(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genPlan, err := g.PlanShards(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Plan, genPlan) {
+		t.Fatalf("service plan %+v != generator plan %+v", plan.Plan, genPlan)
+	}
+}

@@ -86,6 +86,9 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 	}
 	header := fmt.Sprintf("kronserve job %s design %s workers %d totalEdges %d",
 		j.id, j.req.Key(), j.workers, j.totalEdges)
+	if j.shard != nil {
+		header += fmt.Sprintf(" shard %d/%d", j.shard.Shard, j.shard.Shards)
+	}
 	ew, err := newEdgeWriter(w, format, j, header)
 	if err != nil {
 		// Both writers buffer their header, so nothing has been committed

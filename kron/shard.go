@@ -1,0 +1,28 @@
+package kron
+
+import (
+	"repro/internal/gen"
+)
+
+// ShardInfo describes one shard of a deterministic generation plan: a
+// contiguous slice of the design's CSC-ordered B triples that one process
+// generates independently, with its exact edge count and (once filled by
+// Generator.ChecksumPlan) content checksum. See gen.ShardInfo.
+type ShardInfo = gen.ShardInfo
+
+// PlanShards partitions the B-triple × C work of design d (split after its
+// first nb factors) into shards cost-balanced shards without realizing
+// either side — nnz(B), nnz(C), and the loop-owning triple all have closed
+// forms. The plan is a pure function of (design, nb, shards): any process,
+// coordinator or worker, that rebuilds it gets bitwise-identical ranges, so
+// K independent replicas can each pick their shard with no communication.
+// Per-shard Edges sum exactly to the design's edge count, and the
+// concatenation of all shards' StreamShard outputs equals one full
+// StreamBatches run edge-for-edge.
+//
+// A realized Generator offers the same plan via its PlanShards method, plus
+// StreamShard to generate one shard, CountShard to enumerate-and-checksum
+// one shard, and ChecksumPlan to fill every shard's verification checksum.
+func PlanShards(d *Design, nb, shards int) ([]ShardInfo, error) {
+	return gen.PlanDesignShards(d, nb, shards)
+}
