@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/gen"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/plot"
 	"repro/internal/rmat"
 	"repro/internal/validate"
@@ -208,9 +209,11 @@ func fig3(maxWorkers int) error {
 	recordBench("measuredScaling", measured)
 
 	// Per-edge vs batch-native streaming on the same workload: the per-edge
-	// API pays an indirect call and error check per edge; StreamBatches pays
-	// one call per batch. Both consumers count into padded per-worker slots
-	// so the measurement isolates the API overhead, not cache-line sharing.
+	// API pays an indirect call and error check per edge; the batch path
+	// pays one call per batch. The per-edge consumer counts into padded
+	// per-worker slots so the measurement isolates the API overhead, not
+	// cache-line sharing; the batch consumer is the pipeline Counter fold,
+	// which keeps the same padded-slot shape.
 	type paddedCount struct {
 		n int64
 		_ [56]byte
@@ -224,14 +227,12 @@ func fig3(maxWorkers int) error {
 		return err
 	}
 	perEdgeRate := float64(g.NumEdges()) / time.Since(start).Seconds()
+	batchCounter := pipeline.NewCounter(maxWorkers)
 	start = time.Now()
-	if err := g.StreamBatches(context.Background(), maxWorkers, 0, func(p int, batch []gen.Edge) error {
-		counts[p].n += int64(len(batch))
-		return nil
-	}); err != nil {
+	if err := g.StreamTo(context.Background(), maxWorkers, 0, batchCounter); err != nil {
 		return err
 	}
-	batchRate := float64(g.NumEdges()) / time.Since(start).Seconds()
+	batchRate := float64(batchCounter.Total()) / time.Since(start).Seconds()
 	fmt.Printf("\nstreaming API comparison at %d workers (same workload):\n", maxWorkers)
 	fmt.Printf("%-10s %-14s\n", "path", "edges/s")
 	fmt.Printf("%-10s %-14.3e\n", "per-edge", perEdgeRate)
@@ -239,6 +240,60 @@ func fig3(maxWorkers int) error {
 	recordBench("perEdgeStreamEdgesPerSec", perEdgeRate)
 	recordBench("batchStreamEdgesPerSec", batchRate)
 	recordBench("batchSpeedup", batchRate/perEdgeRate)
+
+	// Pooled vs alloc+copy hand-off on the service's streaming shape: np
+	// producers pushing batches through a bounded queue to one draining
+	// consumer. The copy baseline is the pre-pipeline service hot path —
+	// one make+memmove per batch pushed into a channel; the pooled path is
+	// pipeline.Async, whose buffers come from a sync.Pool and are recycled
+	// by the consumer, so its steady state allocates nothing per batch (the
+	// invariant the service's alloc-regression guard pins).
+	const handoffDepth = 64
+	copyCh := make(chan []gen.Edge, handoffDepth)
+	drained := make(chan int64)
+	go func() {
+		var n int64
+		for b := range copyCh {
+			n += int64(len(b))
+		}
+		drained <- n
+	}()
+	start = time.Now()
+	err = g.StreamBatches(context.Background(), maxWorkers, 0, func(p int, batch []gen.Edge) error {
+		out := make([]gen.Edge, len(batch))
+		copy(out, batch)
+		copyCh <- out
+		return nil
+	})
+	close(copyCh)
+	copied := <-drained
+	if err != nil {
+		return err
+	}
+	copyRate := float64(copied) / time.Since(start).Seconds()
+	pooled := pipeline.NewAsync(context.Background(), handoffDepth)
+	go func() {
+		var n int64
+		for b := range pooled.Batches() {
+			n += int64(len(b.Edges))
+			pooled.Recycle(b)
+		}
+		drained <- n
+	}()
+	start = time.Now()
+	err = g.StreamTo(context.Background(), maxWorkers, 0, pooled)
+	pooledEdges := <-drained
+	if err != nil {
+		return err
+	}
+	pooledRate := float64(pooledEdges) / time.Since(start).Seconds()
+	fmt.Printf("\nstreaming hand-off comparison at %d workers (bounded queue, one consumer):\n", maxWorkers)
+	fmt.Printf("%-12s %-14s\n", "hand-off", "edges/s")
+	fmt.Printf("%-12s %-14.3e\n", "alloc+copy", copyRate)
+	fmt.Printf("%-12s %-14.3e (%.2fx)\n", "pooled", pooledRate, pooledRate/copyRate)
+	recordBench("copyHandoffEdgesPerSec", copyRate)
+	recordBench("pooledHandoffEdgesPerSec", pooledRate)
+	recordBench("pooledHandoffSpeedup", pooledRate/copyRate)
 	model := parallel.ScalingModel{PerCoreRate: perCore}
 	for _, pt := range model.Series([]int{64, 1024, 4096, 41472}) {
 		fmt.Printf("%-8d %-14.3e modeled (linear, zero communication)\n", pt.Cores, pt.EdgesPerSec)

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/gen"
 	"repro/internal/graphio"
+	"repro/internal/pipeline"
 	"repro/internal/sparse"
 	"repro/kron"
 )
@@ -157,17 +158,17 @@ func parseShard(spec string) (k, total int, err error) {
 	return k, total, nil
 }
 
-// streamChunks writes one TSV edge chunk per worker through StreamBatches —
-// or, with a shard, through StreamShard, so this process emits exactly its
-// slice of the deterministic plan. Each worker owns its file and encodes
-// whole batches with WriteEdges; the graph is never materialized and no
-// state is shared between workers.
+// streamChunks writes one TSV edge chunk per worker through the pipeline
+// layer — or, with a shard, streams exactly this process's slice of the
+// deterministic plan. Each worker owns its file via a PerWorker-routed
+// Writer sink, and a Counter rides the same Tee, so the reported edge total
+// is measured from the one generation pass that wrote the chunks; the graph
+// is never materialized and no state is shared between workers.
 func streamChunks(g *gen.Generator, shard *gen.ShardInfo, workers int, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	files := make([]*os.File, workers)
-	writers := make([]*graphio.TSVEdgeWriter, workers)
 	// Error-path cleanup only: the success path closes each file once, with
 	// the error checked, and nils its slot.
 	defer func() {
@@ -177,39 +178,37 @@ func streamChunks(g *gen.Generator, shard *gen.ShardInfo, workers int, dir strin
 			}
 		}
 	}()
+	sinks := make([]pipeline.Sink, workers)
 	for p := range files {
 		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("edges_%04d.tsv", p)))
 		if err != nil {
 			return err
 		}
 		files[p] = f
-		writers[p] = graphio.NewTSVEdgeWriter(f)
+		sinks[p] = pipeline.Writer(graphio.NewTSVEdgeWriter(f))
 	}
-	emit := func(p int, batch []gen.Edge) error {
-		return writers[p].WriteEdges(batch)
-	}
+	counter := pipeline.NewCounter(workers)
+	sink := pipeline.Tee(pipeline.PerWorker(sinks...), counter)
 	start := time.Now()
 	var err error
-	edges := g.NumEdges()
 	if shard != nil {
-		edges = shard.Edges
-		err = g.StreamShard(context.Background(), *shard, workers, 0, emit)
+		err = g.StreamShardTo(context.Background(), *shard, workers, 0, sink)
 	} else {
-		err = g.StreamBatches(context.Background(), workers, 0, emit)
+		err = g.StreamTo(context.Background(), workers, 0, sink)
 	}
 	if err != nil {
 		return err
 	}
-	for p, w := range writers {
-		if err := w.Flush(); err != nil {
-			return err
-		}
+	for p := range files {
+		// The stream pass closed the sink, flushing every writer; only the
+		// files remain to close.
 		if err := files[p].Close(); err != nil {
 			return err
 		}
 		files[p] = nil
 	}
 	dur := time.Since(start)
+	edges := counter.Total()
 	fmt.Printf("streamed %d edges to %d chunks under %s in %v (%.3e edges/s)\n",
 		edges, workers, dir, dur, float64(edges)/dur.Seconds())
 	return nil

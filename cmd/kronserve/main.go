@@ -42,11 +42,28 @@ func main() {
 	cacheSize := fs.Int("cache", 0, "design-property LRU capacity (0 = default)")
 	maxBNNZ := fs.Int64("max-bnnz", 0, "max B-side stored entries per job (0 = default)")
 	maxCNNZ := fs.Int64("max-cnnz", 0, "max C-side stored entries per job (0 = default)")
+	batch := fs.Int("batch", 0, "per-worker edge batch size, the unit of backpressure and cancellation latency (0 = default)")
 	queueDepth := fs.Int("queue-depth", 0, "per-job stream buffer in batches (0 = default)")
 	attachTimeout := fs.Duration("attach-timeout", 0, "cancel streaming jobs with no consumer after this long (0 = default)")
 	history := fs.Int("history", 0, "finished jobs kept queryable (0 = default)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	// Negative sizes would silently fall back to defaults inside
+	// service.New; reject them up front so a typo'd deployment fails loudly
+	// at startup instead of running with a configuration it never had.
+	// (-cache stays out of the list: a negative capacity legitimately
+	// disables the property and plan caches.)
+	for _, v := range []struct {
+		name  string
+		value int64
+	}{{"-batch", int64(*batch)}, {"-queue-depth", int64(*queueDepth)},
+		{"-max-jobs", int64(*maxJobs)}, {"-max-workers", int64(*maxWorkers)},
+		{"-history", int64(*history)}, {"-max-bnnz", *maxBNNZ}, {"-max-cnnz", *maxCNNZ}} {
+		if v.value < 0 {
+			fmt.Fprintf(os.Stderr, "kronserve: %s %d: must be ≥ 0 (0 selects the default)\n", v.name, v.value)
+			os.Exit(2)
+		}
 	}
 
 	svc := service.New(service.Config{
@@ -55,6 +72,7 @@ func main() {
 		CacheSize:         *cacheSize,
 		MaxBNNZ:           *maxBNNZ,
 		MaxCNNZ:           *maxCNNZ,
+		BatchSize:         *batch,
 		QueueDepth:        *queueDepth,
 		AttachTimeout:     *attachTimeout,
 		MaxJobHistory:     *history,

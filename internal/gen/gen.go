@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graphio"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/sparse"
 	"repro/internal/star"
 )
@@ -113,16 +114,25 @@ func (g *Generator) CNNZ() int { return g.c.NNZ() }
 // without conversion or copying.
 type Edge = graphio.Edge
 
-// DefaultBatchSize is the per-worker edge batch size StreamBatches uses when
-// the caller passes batchSize <= 0: large enough to amortize the per-batch
-// callback to nothing, small enough that a batch stays cache-resident.
-const DefaultBatchSize = 2048
-
-// compatBatchSize is the internal batch the per-edge Stream/StreamContext
-// shims run on. Smaller than DefaultBatchSize so per-edge callers keep
-// roughly the cancellation latency the old per-B-triple context check gave
-// them.
-const compatBatchSize = 512
+// The module has exactly two batch-size knobs, homed here together because
+// they are two points on one tradeoff: the context is checked once per
+// batch, so batch size buys throughput (fewer callback/check boundaries per
+// edge) at the price of cancellation latency (more edges generated between
+// ctx.Err() observations).
+const (
+	// DefaultBatchSize is the per-worker edge batch size StreamBatches and
+	// StreamTo use when the caller passes batchSize <= 0: large enough to
+	// amortize the per-batch callback to nothing, small enough that a batch
+	// stays cache-resident. The service's streaming hand-off defaults to
+	// this size too (kronserve -batch overrides it per server).
+	DefaultBatchSize = 2048
+	// CompatBatchSize is the internal batch the per-edge Stream/
+	// StreamContext shims run on: smaller than DefaultBatchSize so per-edge
+	// callers keep roughly the cancellation latency the old per-B-triple
+	// context check gave them, at a per-edge indirection cost batch-native
+	// consumers never pay.
+	CompatBatchSize = 512
+)
 
 // StreamBatches is the batch-native hot path: it generates the graph with np
 // workers, filling a reusable per-worker edge buffer directly in the inner
@@ -143,7 +153,25 @@ const compatBatchSize = 512
 // row by row in worker order therefore yields canonical sorted CSR rows
 // with no comparison sort — the property sparse.CSRBuilder exploits.
 func (g *Generator) StreamBatches(ctx context.Context, np, batchSize int, emit func(p int, batch []Edge) error) error {
-	return g.streamBRange(ctx, 0, g.b.NNZ(), np, batchSize, emit)
+	return g.StreamTo(ctx, np, batchSize, pipeline.Func(emit))
+}
+
+// StreamTo generates the graph with np workers into a composable sink — the
+// pipeline-native face of StreamBatches (which is this method over a
+// pipeline.Func adapter). Every StreamBatches guarantee holds: batch reuse
+// (the sink owns each batch only until WriteBatch returns), one context
+// check per batch, the band-order property, and concurrent per-worker
+// delivery. Tee the sink to consume one pass K ways — stream to an edge
+// writer, count, and checksum simultaneously. When the pass ends — success,
+// sink error, or cancellation — the sink is closed exactly once, so
+// consumers blocked on a sink's output always observe end-of-stream; the
+// close error is returned only when generation itself succeeded.
+func (g *Generator) StreamTo(ctx context.Context, np, batchSize int, sink pipeline.Sink) error {
+	err := g.streamBRange(ctx, 0, g.b.NNZ(), np, batchSize, sink.WriteBatch)
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // streamBRange is the engine behind StreamBatches and StreamShard: it
@@ -230,10 +258,10 @@ func (g *Generator) Stream(np int, emit func(worker int, e Edge) error) error {
 
 // StreamContext is Stream with cooperative cancellation: implemented on
 // StreamBatches with an internal batch, so each worker checks the context
-// once per compatBatchSize edges and stops with ctx.Err() once it is
+// once per CompatBatchSize edges and stops with ctx.Err() once it is
 // cancelled. A non-nil error from emit cancels the remaining workers.
 func (g *Generator) StreamContext(ctx context.Context, np int, emit func(worker int, e Edge) error) error {
-	return g.StreamBatches(ctx, np, compatBatchSize, func(p int, batch []Edge) error {
+	return g.StreamBatches(ctx, np, CompatBatchSize, func(p int, batch []Edge) error {
 		for _, e := range batch {
 			if err := emit(p, e); err != nil {
 				return err

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/star"
 )
 
@@ -126,10 +127,23 @@ func PlanDesignShards(d *core.Design, nb, shards int) ([]ShardInfo, error) {
 // edge-identical to one full StreamBatches run: both enumerate B's CSC
 // triples in order against row-major C.
 func (g *Generator) StreamShard(ctx context.Context, s ShardInfo, np, batchSize int, emit func(p int, batch []Edge) error) error {
-	if err := g.checkShard(s); err != nil {
-		return err
+	return g.StreamShardTo(ctx, s, np, batchSize, pipeline.Func(emit))
+}
+
+// StreamShardTo generates exactly one shard's edge range into a composable
+// sink — StreamTo's shard face, and the engine behind StreamShard (which is
+// this method over a pipeline.Func adapter). The sink is closed exactly once
+// when the pass ends, on success and failure alike; the close error is
+// returned only when generation itself succeeded.
+func (g *Generator) StreamShardTo(ctx context.Context, s ShardInfo, np, batchSize int, sink pipeline.Sink) error {
+	err := g.checkShard(s)
+	if err == nil {
+		err = g.streamBRange(ctx, s.BLo, s.BHi, np, batchSize, sink.WriteBatch)
 	}
-	return g.streamBRange(ctx, s.BLo, s.BHi, np, batchSize, emit)
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // checkShard validates a shard against this generator's workload, so a plan

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+// Batch is one pooled edge buffer in flight from an Async sink's producers
+// to its consumer. The consumer owns Edges from receive until it hands the
+// Batch back via Recycle; after Recycle the buffer is reused and must not be
+// touched.
+type Batch struct {
+	Edges []Edge
+}
+
+// Async is the bounded pooled hand-off between generation workers and a
+// single asynchronous consumer — the service's streaming hot path. Producers
+// copy each batch into a buffer drawn from a sync.Pool and send it through a
+// bounded channel; the consumer drains Batches and returns each buffer with
+// Recycle. Steady state does zero per-batch allocations: once the pool holds
+// enough grown buffers to cover the channel depth plus the batches in
+// flight, every WriteBatch is a pool hit and a memmove (the alloc+copy the
+// pre-pipeline service paid per batch happens at most once per pooled
+// buffer). The channel is the backpressure boundary: when the consumer falls
+// behind, WriteBatch blocks until a slot frees or ctx is cancelled.
+type Async struct {
+	ctx  context.Context
+	ch   chan *Batch
+	pool sync.Pool
+	once sync.Once
+}
+
+// NewAsync returns an Async sink whose channel buffers depth batches
+// (depth 0 yields an unbuffered, fully synchronous hand-off). A WriteBatch
+// blocked on a full channel aborts with ctx's error when ctx is cancelled;
+// a nil ctx means never cancelled.
+func NewAsync(ctx context.Context, depth int) *Async {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a := &Async{ctx: ctx, ch: make(chan *Batch, depth)}
+	a.pool.New = func() any { return new(Batch) }
+	return a
+}
+
+// WriteBatch copies the batch into a pooled buffer and sends it to the
+// consumer, blocking when the channel is full (backpressure) until ctx
+// cancels.
+func (a *Async) WriteBatch(p int, batch []Edge) error {
+	b := a.pool.Get().(*Batch)
+	b.Edges = append(b.Edges[:0], batch...)
+	select {
+	case a.ch <- b:
+		return nil
+	case <-a.ctx.Done():
+		a.pool.Put(b)
+		return a.ctx.Err()
+	}
+}
+
+// Close closes the consumer channel; the consumer sees end-of-stream after
+// draining the batches already queued. Idempotent: the streaming driver
+// closes the sink when the pass ends, and an owner may also close it
+// defensively on paths where the stream never starts.
+func (a *Async) Close() error {
+	a.once.Do(func() { close(a.ch) })
+	return nil
+}
+
+// Batches returns the consumer side: receive each *Batch, use its Edges,
+// then hand it back with Recycle. The channel closes when the producer side
+// closes the sink.
+func (a *Async) Batches() <-chan *Batch { return a.ch }
+
+// Recycle returns a received Batch's buffer to the pool for reuse by a
+// future WriteBatch. The Batch and its Edges must not be used afterwards.
+func (a *Async) Recycle(b *Batch) { a.pool.Put(b) }

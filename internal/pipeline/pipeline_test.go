@@ -1,0 +1,237 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graphio"
+)
+
+func mkBatch(n int, base int64) []Edge {
+	b := make([]Edge, n)
+	for i := range b {
+		b[i] = Edge{Row: base + int64(i), Col: base + int64(2*i), Val: 1}
+	}
+	return b
+}
+
+// foldChecksum is the reference fold from gen.countBRange.
+func foldChecksum(batches ...[]Edge) int64 {
+	var s int64
+	for _, b := range batches {
+		for _, e := range b {
+			s ^= e.Row*31 + e.Col
+		}
+	}
+	return s
+}
+
+func TestCounterAndChecksumFolds(t *testing.T) {
+	const np = 3
+	cnt, sum := NewCounter(np), NewChecksum(np)
+	batches := [][]Edge{mkBatch(5, 0), mkBatch(7, 100), mkBatch(1, 9)}
+	var total int64
+	for p, b := range batches {
+		if err := cnt.WriteBatch(p, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := sum.WriteBatch(p, b); err != nil {
+			t.Fatal(err)
+		}
+		total += int64(len(b))
+	}
+	// A second batch on worker 0 folds into the same slot.
+	extra := mkBatch(4, 50)
+	if err := cnt.WriteBatch(0, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.WriteBatch(0, extra); err != nil {
+		t.Fatal(err)
+	}
+	total += int64(len(extra))
+	if got := cnt.Total(); got != total {
+		t.Fatalf("Counter.Total = %d, want %d", got, total)
+	}
+	want := foldChecksum(append(batches, extra)...)
+	if got := sum.Sum(); got != want {
+		t.Fatalf("Checksum.Sum = %x, want %x", got, want)
+	}
+}
+
+// recordSink logs the order of calls it receives, optionally failing.
+type recordSink struct {
+	name     string
+	log      *[]string
+	writeErr error
+	closeErr error
+}
+
+func (r *recordSink) WriteBatch(p int, batch []Edge) error {
+	*r.log = append(*r.log, fmt.Sprintf("%s.write(%d,%d)", r.name, p, len(batch)))
+	return r.writeErr
+}
+
+func (r *recordSink) Close() error {
+	*r.log = append(*r.log, r.name+".close")
+	return r.closeErr
+}
+
+func TestTeeOrderErrorAndClose(t *testing.T) {
+	var log []string
+	a := &recordSink{name: "a", log: &log}
+	b := &recordSink{name: "b", log: &log, writeErr: errors.New("b refuses")}
+	c := &recordSink{name: "c", log: &log, closeErr: errors.New("c close failed")}
+	tee := Tee(a, b, c)
+
+	err := tee.WriteBatch(1, mkBatch(2, 0))
+	if err == nil || !strings.Contains(err.Error(), "b refuses") {
+		t.Fatalf("tee write error = %v, want b's", err)
+	}
+	// The batch stopped at b: c never saw it.
+	if want := []string{"a.write(1,2)", "b.write(1,2)"}; !equalStrings(log, want) {
+		t.Fatalf("tee call order %v, want %v", log, want)
+	}
+
+	log = log[:0]
+	cerr := tee.Close()
+	// Every child closes, even though c's close fails.
+	if want := []string{"a.close", "b.close", "c.close"}; !equalStrings(log, want) {
+		t.Fatalf("tee close order %v, want %v", log, want)
+	}
+	if cerr == nil || !strings.Contains(cerr.Error(), "c close failed") {
+		t.Fatalf("tee close error = %v, want c's", cerr)
+	}
+}
+
+func TestTeeSingleSinkPassThrough(t *testing.T) {
+	var log []string
+	a := &recordSink{name: "a", log: &log}
+	if got := Tee(a); got != Sink(a) {
+		t.Fatal("Tee of one sink should return it unchanged")
+	}
+}
+
+func TestPerWorkerRoutingAndBounds(t *testing.T) {
+	var log []string
+	s := PerWorker(&recordSink{name: "w0", log: &log}, &recordSink{name: "w1", log: &log})
+	if err := s.WriteBatch(1, mkBatch(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBatch(0, mkBatch(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"w1.write(1,3)", "w0.write(0,1)"}; !equalStrings(log, want) {
+		t.Fatalf("routing %v, want %v", log, want)
+	}
+	if err := s.WriteBatch(2, mkBatch(1, 0)); err == nil {
+		t.Fatal("worker index beyond the sink list must error")
+	}
+	log = log[:0]
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"w0.close", "w1.close"}; !equalStrings(log, want) {
+		t.Fatalf("close order %v, want %v", log, want)
+	}
+}
+
+func TestKeepOpenShieldsClose(t *testing.T) {
+	var log []string
+	a := &recordSink{name: "a", log: &log, closeErr: errors.New("never seen")}
+	k := KeepOpen(a)
+	if err := k.WriteBatch(0, mkBatch(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal("KeepOpen.Close must be a no-op")
+	}
+	if want := []string{"a.write(0,1)"}; !equalStrings(log, want) {
+		t.Fatalf("calls %v, want %v (no close)", log, want)
+	}
+}
+
+func TestWriterEncodesAndFlushesOnClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := Writer(graphio.NewTSVEdgeWriter(&buf))
+	if err := w.WriteBatch(0, []Edge{{Row: 1, Col: 2, Val: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing reaches the underlying writer until the buffered encoder
+	// flushes — Close is the flush point.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "1\t2\t3\n"; got != want {
+		t.Fatalf("Writer output %q, want %q", got, want)
+	}
+}
+
+func TestAsyncDeliversRecyclesAndCloses(t *testing.T) {
+	a := NewAsync(context.Background(), 2)
+	in := mkBatch(5, 7)
+	if err := a.WriteBatch(0, in); err != nil {
+		t.Fatal(err)
+	}
+	b := <-a.Batches()
+	if len(b.Edges) != len(in) || b.Edges[0] != in[0] || b.Edges[4] != in[4] {
+		t.Fatalf("delivered batch %v, want copy of %v", b.Edges, in)
+	}
+	// The delivered buffer is a copy: mutating the producer's slice after
+	// WriteBatch returned must not reach the consumer.
+	in[0].Row = -1
+	if b.Edges[0].Row == -1 {
+		t.Fatal("Async delivered an aliased batch instead of a pooled copy")
+	}
+	a.Recycle(b)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("Async.Close must be idempotent")
+	}
+	if _, ok := <-a.Batches(); ok {
+		t.Fatal("channel still open after Close")
+	}
+}
+
+func TestAsyncBackpressureAbortsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	a := NewAsync(ctx, 1)
+	if err := a.WriteBatch(0, mkBatch(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full, no consumer: the next write must block until cancel.
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.WriteBatch(0, mkBatch(1, 0)) }()
+	select {
+	case err := <-errCh:
+		t.Fatalf("write on a full queue returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked write returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked write did not abort after cancel")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

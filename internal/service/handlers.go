@@ -28,8 +28,13 @@ type Config struct {
 	// MaxBNNZ bounds the B side's stored entries (B is realized in server
 	// memory once per job).
 	MaxBNNZ int64
+	// BatchSize is the per-worker edge batch size generation hands to the
+	// streaming sinks — the unit of backpressure, progress accounting, and
+	// cancellation latency (the generator checks its context once per
+	// batch). Defaults to kron.DefaultStreamBatchSize.
+	BatchSize int
 	// QueueDepth is the per-job edge-stream channel capacity in batches of
-	// batchSize edges; it bounds how far generation may run ahead of a slow
+	// BatchSize edges; it bounds how far generation may run ahead of a slow
 	// client.
 	QueueDepth int
 	// AttachTimeout cancels a streaming job whose /edges consumer never
@@ -61,6 +66,7 @@ func DefaultConfig() Config {
 		CacheSize:         128,
 		MaxCNNZ:           kron.DefaultMaxCNNZ,
 		MaxBNNZ:           1 << 24,
+		BatchSize:         kron.DefaultStreamBatchSize,
 		QueueDepth:        64,
 		AttachTimeout:     2 * time.Minute,
 		MaxJobHistory:     256,
@@ -99,6 +105,9 @@ func New(cfg Config) *Service {
 	}
 	if cfg.MaxBNNZ <= 0 {
 		cfg.MaxBNNZ = def.MaxBNNZ
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = def.BatchSize
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = def.QueueDepth

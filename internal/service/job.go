@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/pipeline"
 	"repro/kron"
 )
 
@@ -47,11 +48,6 @@ const (
 	// paper's Figure 3 rate workload as a job.
 	SinkDiscard = "discard"
 )
-
-// batchSize is the number of edges a worker accumulates before handing a
-// batch to the stream channel (or the progress counter). One batch is the
-// unit of backpressure and of cancellation latency.
-const batchSize = 2048
 
 // JobRequest is the wire form of a generation job.
 type JobRequest struct {
@@ -101,10 +97,17 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// checksum is the XOR content fold over every edge the job generated
+	// (pipeline.Checksum, the same folding shard plans use); hasChecksum
+	// flips once generation completed successfully.
+	checksum    int64
+	hasChecksum bool
 
-	// edges carries batches from generation workers to the single stream
-	// consumer; nil for discard jobs. Closed by the run loop on exit.
-	edges chan []kron.Edge
+	// stream is the pooled hand-off from generation workers to the single
+	// /edges consumer; nil for discard jobs. Closed by the generation pass
+	// (and defensively by the run loop on paths where generation never
+	// starts), after which the consumer sees end-of-stream.
+	stream *pipeline.Async
 	// attachCh is closed when the first consumer attaches.
 	attachCh chan struct{}
 	// done is closed when the run loop exits.
@@ -126,12 +129,15 @@ func (j *Job) Cancel() { j.cancel() }
 // with a header and zero entries.
 var ErrJobTerminal = errors.New("job already finished; its edges were never stored and cannot be replayed")
 
-// Attach claims the job's edge stream. Exactly one consumer may attach over
-// the job's lifetime; edges exist only in flight and are gone once read.
-// Attaching to a job that already reached a terminal state fails with
-// ErrJobTerminal (wrapped): its closed channel would produce a stream that
-// declares totalEdges entries and delivers none.
-func (j *Job) Attach() (<-chan []kron.Edge, error) {
+// Attach claims the job's edge stream: the pooled batches the generation
+// pass produces. Exactly one consumer may attach over the job's lifetime;
+// edges exist only in flight and are gone once read. The consumer must hand
+// every received batch back via Recycle — the pooled buffers are what make
+// steady-state streaming allocation-free. Attaching to a job that already
+// reached a terminal state fails with ErrJobTerminal (wrapped): its closed
+// channel would produce a stream that declares totalEdges entries and
+// delivers none.
+func (j *Job) Attach() (<-chan *pipeline.Batch, error) {
 	if j.sink != SinkStream {
 		return nil, fmt.Errorf("job %s has sink %q; only %q jobs stream edges", j.id, j.sink, SinkStream)
 	}
@@ -148,8 +154,12 @@ func (j *Job) Attach() (<-chan []kron.Edge, error) {
 	}
 	j.attached = true
 	close(j.attachCh)
-	return j.edges, nil
+	return j.stream.Batches(), nil
 }
+
+// Recycle returns a batch received from Attach's channel to the job's
+// buffer pool. Required after each batch is consumed.
+func (j *Job) Recycle(b *pipeline.Batch) { j.stream.Recycle(b) }
 
 // ShardStatus is the JSON rendering of a sharded job's slice of the plan.
 type ShardStatus struct {
@@ -177,6 +187,14 @@ type JobStatus struct {
 	TotalEdges     int64        `json:"totalEdges"`
 	GeneratedEdges int64        `json:"generatedEdges"`
 	StreamedEdges  int64        `json:"streamedEdges"`
+	// Checksum is the XOR content fold over every edge the job generated —
+	// the identical folding CountEdges and shard plans use — teed out of the
+	// same generation pass that streamed the edges; present once generation
+	// completed. A sharded job's checksum must equal its plan entry's
+	// ?checksums=1 value, and XORing all shards' checksums yields the whole
+	// design's, so completeness of a K-replica run is verifiable from job
+	// statuses alone.
+	Checksum *int64 `json:"checksum,omitempty"`
 	// Progress is generated/total in [0,1].
 	Progress float64 `json:"progress"`
 	// EdgesPerSec is the job's generation rate while running and its final
@@ -193,6 +211,7 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	state, err := j.state, j.err
 	created, started, finished := j.created, j.started, j.finished
+	checksum, hasChecksum := j.checksum, j.hasChecksum
 	j.mu.Unlock()
 	gen := j.generated.Load()
 	st := JobStatus{
@@ -207,6 +226,9 @@ func (j *Job) Status() JobStatus {
 		GeneratedEdges: gen,
 		StreamedEdges:  j.streamed.Load(),
 		CreatedAt:      created,
+	}
+	if hasChecksum {
+		st.Checksum = &checksum
 	}
 	if j.shard != nil {
 		st.Shard = &ShardStatus{
@@ -375,7 +397,10 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		done:       make(chan struct{}),
 	}
 	if sink == SinkStream {
-		j.edges = make(chan []kron.Edge, m.cfg.QueueDepth)
+		// The job's context bounds the hand-off: a producer blocked on a
+		// full queue (consumer fell behind) aborts when the job is
+		// cancelled, exactly as the raw channel send did.
+		j.stream = pipeline.NewAsync(ctx, m.cfg.QueueDepth)
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -428,8 +453,14 @@ func (m *Manager) Close() {
 func (m *Manager) run(j *Job) {
 	defer m.wg.Done()
 	defer close(j.done)
-	if j.edges != nil {
-		defer close(j.edges)
+	if j.stream != nil {
+		// Closed here — not by the generation pass, which sees the stream
+		// through pipeline.KeepOpen — so the close happens after finish has
+		// recorded the terminal state (defers run after the body's
+		// m.finish): the consumer's end-of-stream Status snapshot reports
+		// the job's final state, and paths where generation never starts
+		// (attach timeout, realization failure) still deliver end-of-stream.
+		defer j.stream.Close()
 	}
 	if j.sink == SinkStream {
 		// A streaming job with no consumer must not hold an admission slot
@@ -467,36 +498,51 @@ func (m *Manager) run(j *Job) {
 	m.finish(j, err)
 }
 
-// generate drives the communication-free generator over its batch-native
-// path: each worker's batches arrive whole, so progress accounting and the
-// channel hand-off cost one call per batchSize edges instead of a per-edge
-// closure. Stream batches are copied out of the generator's reusable buffer
-// and pushed into the stream channel (blocking on a full channel —
-// backpressure); discard batches only bump the progress counters.
+// generate drives the communication-free generator through one pipeline
+// pass: progress accounting, the per-job content checksum, and (for
+// streaming jobs) the pooled consumer hand-off are teed sinks fed by the
+// same batches — generate once, consume three ways. The pooled hand-off
+// replaces the old alloc+copy channel: batch buffers come from the sink's
+// sync.Pool and are recycled by the stream consumer, so steady-state
+// streaming does zero per-batch allocations while keeping the backpressure
+// contract (a full queue blocks the workers until the consumer catches up
+// or the job is cancelled). On success the checksum fold is recorded on the
+// job, where JobStatus surfaces it for reconciliation against shard plans.
 func (m *Manager) generate(j *Job, g *kron.Generator) error {
-	emit := func(p int, batch []kron.Edge) error {
+	sink, cks := m.jobSink(j)
+	var err error
+	if j.shard != nil {
+		err = g.StreamShardTo(j.ctx, *j.shard, j.workers, m.cfg.BatchSize, sink)
+	} else {
+		err = g.StreamTo(j.ctx, j.workers, m.cfg.BatchSize, sink)
+	}
+	if err == nil {
+		j.mu.Lock()
+		j.checksum, j.hasChecksum = cks.Sum(), true
+		j.mu.Unlock()
+	}
+	return err
+}
+
+// jobSink builds the job's one-pass sink chain: the progress/metrics fold
+// and the checksum fold, teed with the pooled stream hand-off for streaming
+// jobs. The stream sink rides behind pipeline.KeepOpen — the run loop, not
+// the generation pass, closes it, so end-of-stream is observed only after
+// the job's terminal state is recorded. Factored out of generate so the
+// alloc-regression guard can pin the chain's zero-steady-state-allocation
+// property without running a whole job.
+func (m *Manager) jobSink(j *Job) (pipeline.Sink, *pipeline.Checksum) {
+	cks := pipeline.NewChecksum(j.workers)
+	progress := pipeline.Func(func(p int, batch []kron.Edge) error {
 		n := int64(len(batch))
 		j.generated.Add(n)
 		m.metrics.EdgesGenerated.Add(n)
-		if j.edges == nil {
-			return nil
-		}
-		// The generator reuses batch after this callback returns; the copy
-		// is one allocation + memmove per batch, the price the old per-edge
-		// path paid too (it allocated a fresh batch per flush).
-		out := make([]kron.Edge, len(batch))
-		copy(out, batch)
-		select {
-		case j.edges <- out:
-			return nil
-		case <-j.ctx.Done():
-			return j.ctx.Err()
-		}
+		return nil
+	})
+	if j.stream == nil {
+		return pipeline.Tee(progress, cks), cks
 	}
-	if j.shard != nil {
-		return g.StreamShard(j.ctx, *j.shard, j.workers, batchSize, emit)
-	}
-	return g.StreamBatches(j.ctx, j.workers, batchSize, emit)
+	return pipeline.Tee(progress, cks, pipeline.KeepOpen(j.stream)), cks
 }
 
 // finish records the terminal state exactly once per job. Classification

@@ -66,6 +66,7 @@ func TestServiceShardAPIEndToEnd(t *testing.T) {
 	// K "replicas": one shard job each, submitted with the plan's split so
 	// every replica prices the identical B ⊗ C decomposition.
 	var tr []sparse.Triple[int64]
+	var jobChecksumXOR int64
 	for _, sh := range plan.Plan {
 		job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
 			DesignRequest: design, Workers: 2, Split: plan.Split,
@@ -101,7 +102,17 @@ func TestServiceShardAPIEndToEnd(t *testing.T) {
 			t.Fatalf("shard %d streamed %d edges, plan says %d", sh.Shard, body.NNZ(), sh.Edges)
 		}
 		tr = append(tr, body.Tr...)
-		waitForState(t, ts.URL, job.ID, StateDone)
+		done := waitForState(t, ts.URL, job.ID, StateDone)
+		// The job's teed checksum — folded in the same pass that streamed
+		// the edges above — must reconcile against the plan's enumerated
+		// verification checksum with no extra generation run.
+		if done.Checksum == nil {
+			t.Fatalf("shard %d done status carries no checksum", sh.Shard)
+		}
+		if *done.Checksum != sh.Checksum {
+			t.Fatalf("shard %d job checksum %x, plan says %x", sh.Shard, *done.Checksum, sh.Checksum)
+		}
+		jobChecksumXOR ^= *done.Checksum
 	}
 
 	n := int(d.NumVertices().Int64())
@@ -115,6 +126,21 @@ func TestServiceShardAPIEndToEnd(t *testing.T) {
 	}
 	if !sparse.Equal(got, want, semiring.PlusTimesInt64()) {
 		t.Fatal("reassembled shard streams differ from the serial Kronecker realization")
+	}
+
+	// Completeness from job statuses alone: the XOR of the K shard jobs'
+	// checksums equals the checksum an unsharded discard job reports for
+	// the whole design.
+	full := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		DesignRequest: design, Workers: 2, Split: plan.Split, Sink: SinkDiscard,
+	}))
+	fullDone := waitForState(t, ts.URL, full.ID, StateDone)
+	if fullDone.Checksum == nil {
+		t.Fatal("unsharded done job carries no checksum")
+	}
+	if jobChecksumXOR != *fullDone.Checksum {
+		t.Fatalf("XOR of shard job checksums %x != whole-design job checksum %x",
+			jobChecksumXOR, *fullDone.Checksum)
 	}
 
 	// The shard counters moved.

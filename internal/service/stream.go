@@ -56,17 +56,16 @@ func newEdgeWriter(w http.ResponseWriter, format string, j *Job, header string) 
 	}
 }
 
-// flushEvery bounds how many edges are encoded between flushes so clients
-// see edges while generation is still running (chunked transfer).
-const flushEvery = 8 * batchSize
-
-// streamJob copies the job's edge batches to the HTTP response until the
-// stream ends, the client disconnects, or encoding fails. It owns the
-// consumer side of the backpressure contract: the channel is bounded, the
-// workers block when it is full, and this loop drains it only as fast as
-// the client accepts bytes. A client that disconnects mid-stream cancels
-// the job — edges are not stored, so an abandoned stream can never be
-// resumed and finishing it would be pure waste.
+// streamJob encodes the job's pooled edge batches to the HTTP response
+// until the stream ends, the client disconnects, or encoding fails. It owns
+// the consumer side of two contracts: backpressure — the queue is bounded,
+// the workers block when it is full, and this loop drains it only as fast
+// as the client accepts bytes — and pooling: every received batch is
+// recycled back to the job's buffer pool after encoding, which is what
+// makes the generation side allocation-free at steady state. A client that
+// disconnects mid-stream cancels the job — edges are not stored, so an
+// abandoned stream can never be resumed and finishing it would be pure
+// waste.
 func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, format string) {
 	if err := checkFormat(format, j); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -115,6 +114,10 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 		j.Cancel()
 		return
 	}
+	// flushEvery bounds how many edges are encoded between flushes so
+	// clients see edges while generation is still running (chunked
+	// transfer).
+	flushEvery := 8 * s.cfg.BatchSize
 	sinceFlush := 0
 	write := func(batch []kron.Edge) error {
 		if err := ew.WriteEdges(batch); err != nil {
@@ -132,7 +135,7 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 	clientGone := r.Context().Done()
 	for {
 		select {
-		case batch, ok := <-ch:
+		case b, ok := <-ch:
 			if !ok {
 				// Generation finished (or was cancelled); report how it ended
 				// in a trailer comment the format's reader ignores.
@@ -142,7 +145,12 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 				_ = flush()
 				return
 			}
-			if err := write(batch); err != nil {
+			err := write(b.Edges)
+			// The pooled buffer goes back before any error handling: the
+			// encoder copied the bytes it needed, and recycling on every
+			// path is what keeps the producers allocation-free.
+			j.Recycle(b)
+			if err != nil {
 				// Client write failure: the sole consumer is gone.
 				j.Cancel()
 				return

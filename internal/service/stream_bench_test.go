@@ -10,6 +10,48 @@ import (
 	"testing"
 )
 
+// BenchmarkStreamServicePooled measures the pooled generation→consumer
+// hand-off the service streams through — submit a streaming job at the
+// manager level, attach, drain every pooled batch and recycle it — and
+// reports edges/s plus allocs/op. The allocation count is the benchmark's
+// point: the pre-pipeline hand-off allocated and copied one slice per batch
+// (edges/BatchSize allocations per job); the pooled sink's steady state
+// allocates nothing per batch, so allocs/op stays flat as the job's edge
+// count grows. kronbench -fig 3 records the same pooled-vs-copy delta into
+// BENCH_fig3.json.
+func BenchmarkStreamServicePooled(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	req := JobRequest{
+		DesignRequest: DesignRequest{Points: []int{3, 4, 5, 9, 16}, Loop: "hub"},
+		Workers:       min(runtime.GOMAXPROCS(0), DefaultConfig().MaxWorkers),
+	}
+	var edges int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.manager.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := j.Attach()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for batch := range ch {
+			n += int64(len(batch.Edges))
+			j.Recycle(batch)
+		}
+		<-j.done
+		if st := j.Status(); st.State != StateDone || n != st.TotalEdges {
+			b.Fatalf("job ended %s with %d/%d edges delivered", st.State, n, st.TotalEdges)
+		}
+		edges += n
+	}
+	b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/s")
+}
+
 // BenchmarkStreamServiceThroughput drives the whole service hot path once
 // per iteration — submit a streaming job over HTTP, drain its chunked TSV
 // edge stream into io.Discard — and reports end-to-end streamed edges/s.

@@ -9,7 +9,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/kron"
+	"repro/internal/pipeline"
 )
 
 // TestStreamWriterFailureReturnsError is the regression test for the
@@ -40,7 +40,7 @@ func TestStreamWriterFailureReturnsError(t *testing.T) {
 		created:    time.Now(),
 		attachCh:   make(chan struct{}),
 		done:       make(chan struct{}),
-		edges:      make(chan []kron.Edge, 1),
+		stream:     pipeline.NewAsync(ctx, 1),
 	}
 	rec := httptest.NewRecorder()
 	hr := httptest.NewRequest(http.MethodGet, "/v1/jobs/jbroken/edges?format=matrixmarket", nil)

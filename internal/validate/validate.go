@@ -101,14 +101,10 @@ func RunContext(ctx context.Context, d *core.Design, nb, np int) (*Report, error
 	}
 	// Pass 1 — measure in flight: per-worker degree tallies and edge
 	// counts, no edge stored. Each worker touches only its own tally row,
-	// so the pass shares nothing, like the generator underneath it.
-	err = g.StreamBatches(ctx, np, 0, func(w int, batch []gen.Edge) error {
-		for _, e := range batch {
-			builder.Count(w, int(e.Row))
-		}
-		return nil
-	})
-	if err != nil {
+	// so the pass shares nothing, like the generator underneath it. Both
+	// passes are pipeline sinks over the same StreamTo engine every other
+	// stream consumer rides — the measurement is just another fold.
+	if err := g.StreamTo(ctx, np, 0, tallySink{builder}); err != nil {
 		return nil, err
 	}
 	if err := builder.Finalize(); err != nil {
@@ -134,13 +130,7 @@ func RunContext(ctx context.Context, d *core.Design, nb, np int) (*Report, error
 	// Pass 2 — scatter the regenerated stream into the CSR. The generator
 	// is deterministic per worker, so each worker replays exactly the band
 	// it counted.
-	err = g.StreamBatches(ctx, np, 0, func(w int, batch []gen.Edge) error {
-		for _, e := range batch {
-			builder.Place(w, int(e.Row), int(e.Col), e.Val)
-		}
-		return nil
-	})
-	if err != nil {
+	if err := g.StreamTo(ctx, np, 0, scatterSink{builder}); err != nil {
 		return nil, err
 	}
 	a, err := builder.Build()
@@ -215,6 +205,37 @@ func RunMaterialized(ctx context.Context, d *core.Design, nb, np int) (*Report, 
 	r.compare()
 	return r, nil
 }
+
+// tallySink is the pass-1 measurement fold as a pipeline sink: each worker
+// bumps its private per-row tally as its band streams past, storing nothing.
+type tallySink struct {
+	b *sparse.CSRBuilder[int64]
+}
+
+func (s tallySink) WriteBatch(w int, batch []gen.Edge) error {
+	for _, e := range batch {
+		s.b.Count(w, int(e.Row))
+	}
+	return nil
+}
+
+func (s tallySink) Close() error { return nil }
+
+// scatterSink is the pass-2 placement fold as a pipeline sink: each worker
+// scatters its regenerated band straight into the final CSR arrays through
+// its prefix-summed cursors.
+type scatterSink struct {
+	b *sparse.CSRBuilder[int64]
+}
+
+func (s scatterSink) WriteBatch(w int, batch []gen.Edge) error {
+	for _, e := range batch {
+		s.b.Place(w, int(e.Row), int(e.Col), e.Val)
+	}
+	return nil
+}
+
+func (s scatterSink) Close() error { return nil }
 
 // prepare computes the predictions, checks realizability, builds the split
 // generator, and seeds a report with the predicted side.

@@ -1,0 +1,95 @@
+package kron
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/graphio"
+	"repro/internal/pipeline"
+)
+
+// --- The edge-pipeline layer ----------------------------------------------
+//
+// Generation, measurement, and verification are all folds over one
+// communication-free edge stream (the paper's central observation). The
+// pipeline layer makes that a primitive: a Sink consumes the stream batch
+// by batch, combinators compose sinks, and StreamTo drives any sink from
+// one generation pass — stream to disk, count, and checksum simultaneously
+// instead of generating three times:
+//
+//	cnt, sum := kron.NewCounter(np), kron.NewChecksum(np)
+//	err := kron.StreamTo(ctx, g, np, 0,
+//		kron.Tee(kron.Writer(kron.NewTSVEdgeWriter(f)), cnt, sum))
+//	// cnt.Total() edges written; sum.Sum() reconciles against shard plans.
+
+// Sink consumes a generator's edge stream batch by batch. WriteBatch owns
+// its batch only until it returns (the generator reuses the slice), is
+// called concurrently across worker indices and serially within one, and
+// Close runs exactly once when the pass ends. See internal/pipeline for the
+// full contract.
+type Sink = pipeline.Sink
+
+// SinkFunc adapts a bare emit callback to a Sink with a no-op Close.
+type SinkFunc = pipeline.Func
+
+// Counter is a fold Sink counting streamed edges — CountEdges' total from a
+// live stream.
+type Counter = pipeline.Counter
+
+// NewCounter returns a Counter for worker indices [0, np).
+func NewCounter(np int) *Counter { return pipeline.NewCounter(np) }
+
+// Checksum is a fold Sink computing a stream's XOR content checksum with
+// the identical folding CountEdges and shard plans use, so live streams
+// reconcile against ChecksumPlan and JobStatus checksums.
+type Checksum = pipeline.Checksum
+
+// NewChecksum returns a Checksum for worker indices [0, np).
+func NewChecksum(np int) *Checksum { return pipeline.NewChecksum(np) }
+
+// Tee returns a Sink fanning every batch out to each of sinks in order —
+// one generation pass, K consumers.
+func Tee(sinks ...Sink) Sink { return pipeline.Tee(sinks...) }
+
+// PerWorker returns a Sink routing worker p's batches to sinks[p], giving
+// each generation worker an unshared consumer (per-worker chunk files) with
+// deterministic per-worker output order.
+func PerWorker(sinks ...Sink) Sink { return pipeline.PerWorker(sinks...) }
+
+// Writer wraps an EdgeWriter as a Sink: batches are encoded whole and
+// worker-atomically; Close flushes. With one worker — or one Writer per
+// worker via PerWorker — the byte stream is deterministic.
+func Writer(ew EdgeWriter) Sink { return pipeline.Writer(ew) }
+
+// EdgeWriter is the streaming edge-encoder contract (TSV, MatrixMarket)
+// that Writer adapts into the pipeline.
+type EdgeWriter = graphio.EdgeWriter
+
+// TSVEdgeWriter streams "row\tcol\tval" lines.
+type TSVEdgeWriter = graphio.TSVEdgeWriter
+
+// NewTSVEdgeWriter returns a TSV edge stream over w, ready for Writer.
+func NewTSVEdgeWriter(w io.Writer) *TSVEdgeWriter { return graphio.NewTSVEdgeWriter(w) }
+
+// StreamTo generates the graph with np workers into a composable sink —
+// the pipeline-native face of Generator.StreamBatches; batchSize <= 0
+// selects DefaultStreamBatchSize. The sink is closed exactly once when the
+// pass ends, on success and failure alike.
+func StreamTo(ctx context.Context, g *Generator, np, batchSize int, sink Sink) error {
+	return g.StreamTo(ctx, np, batchSize, sink)
+}
+
+// StreamShardTo generates exactly one shard of a deterministic plan into a
+// composable sink — StreamTo's multi-process face.
+func StreamShardTo(ctx context.Context, g *Generator, s ShardInfo, np, batchSize int, sink Sink) error {
+	return g.StreamShardTo(ctx, s, np, batchSize, sink)
+}
+
+// CompatStreamBatchSize is the internal batch size the per-edge
+// Stream/StreamContext conveniences run on. It trades against
+// DefaultStreamBatchSize on one axis: the generator checks its context once
+// per batch, so the smaller batch keeps per-edge callers' cancellation
+// latency near the historical per-B-triple check while batch-native
+// consumers use the larger, throughput-oriented default.
+const CompatStreamBatchSize = gen.CompatBatchSize
