@@ -53,9 +53,23 @@ func run(args []string) error {
 	out := fs.String("out", "", "directory to write per-worker edge chunks (prefix 'edges')")
 	stream := fs.String("stream", "", "directory to stream per-worker TSV chunks through the batch-native path (never materializes)")
 	shardSpec := fs.String("shard", "", "generate only shard k of the deterministic K-shard plan, as k/K (e.g. 0/4); applies to -count and -stream")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopCPU, err := cliutil.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "krongen:", err)
+		}
+		if err := cliutil.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "krongen:", err)
+		}
+	}()
 	points, err := cliutil.ParsePoints(*mhat)
 	if err != nil {
 		return err

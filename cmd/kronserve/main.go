@@ -13,19 +13,29 @@
 //	GET    /v1/jobs/{id}/edges chunked edge stream (format=tsv|matrixmarket)
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/validate/{id}   exact-agreement validation of a done job
+//	GET    /v1/jobs/{id}/trace job phase timeline (admitted → … → terminal)
 //	GET    /healthz            liveness
 //	GET    /metrics            Prometheus text exposition
 //
-// See README.md for a curl-level walkthrough and examples/service for a Go
-// client round trip.
+// Requests and job lifecycles are logged as structured records (-log-format
+// json|text) with request and job IDs for correlation. With -debug-addr a
+// second listener serves net/http/pprof under /debug/pprof/ and expvar under
+// /debug/vars — kept off the API listener so profiling endpoints are never
+// exposed where the job API is.
+//
+// See README.md for a curl-level walkthrough (including the observability
+// runbook) and examples/service for a Go client round trip.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +43,20 @@ import (
 
 	"repro/internal/service"
 )
+
+// debugHandler builds the -debug-addr mux: net/http/pprof's handlers wired
+// explicitly (the package's init-time DefaultServeMux registration is
+// useless here — the API mux must never inherit them) plus expvar.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
 
 func main() {
 	fs := flag.NewFlagSet("kronserve", flag.ContinueOnError)
@@ -46,9 +70,22 @@ func main() {
 	queueDepth := fs.Int("queue-depth", 0, "per-job stream buffer in batches (0 = default)")
 	attachTimeout := fs.Duration("attach-timeout", 0, "cancel streaming jobs with no consumer after this long (0 = default)")
 	history := fs.Int("history", 0, "finished jobs kept queryable (0 = default)")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	debugAddr := fs.String("debug-addr", "", "optional second listen address serving /debug/pprof/ and /debug/vars (empty = disabled)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "kronserve: -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 	// Negative sizes would silently fall back to defaults inside
 	// service.New; reject them up front so a typo'd deployment fails loudly
 	// at startup instead of running with a configuration it never had.
@@ -76,6 +113,7 @@ func main() {
 		QueueDepth:        *queueDepth,
 		AttachTimeout:     *attachTimeout,
 		MaxJobHistory:     *history,
+		Logger:            logger,
 	})
 
 	srv := &http.Server{
@@ -89,28 +127,49 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("kronserve listening on %s\n", *addr)
+		logger.Info("kronserve listening", "addr", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// The debug listener is best-effort: it shares the process's fate but
+		// not the API's — a failure here is logged and the service keeps
+		// serving jobs.
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr,
+				"endpoints", "/debug/pprof/ /debug/vars")
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		fmt.Printf("kronserve: %v: draining\n", sig)
+		logger.Info("draining on signal", "signal", sig.String())
 	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, "kronserve:", err)
+		logger.Error("listener failed", "err", err)
 		svc.Close()
 		os.Exit(1)
 	}
 
 	// Cancel running jobs first (closes their edge streams), then shut the
-	// listener down gracefully.
+	// listeners down gracefully.
 	svc.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
+	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "kronserve: shutdown:", err)
+		logger.Error("shutdown failed", "err", err)
 		os.Exit(1)
 	}
 }

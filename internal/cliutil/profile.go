@@ -1,0 +1,55 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns the stop
+// function that ends the profile and closes the file. Intended for the cmd/
+// tools' -cpuprofile flags:
+//
+//	stop, err := cliutil.StartCPUProfile(*cpuprofile)
+//	...
+//	defer stop()
+//
+// An empty path is a no-op: the returned stop does nothing, so callers can
+// defer it unconditionally.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path, running a GC first so the
+// profile reflects live objects rather than garbage awaiting collection. An
+// empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return f.Close()
+}

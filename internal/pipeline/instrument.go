@@ -1,0 +1,35 @@
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// instrumented wraps a sink and folds every batch into a stage's counters.
+type instrumented struct {
+	stage *obs.Stage
+	sink  Sink
+}
+
+// Instrument wraps sink so that every WriteBatch records into stage: one
+// batch, the batch's edge count, and the wall-clock time the wrapped sink
+// spent handling it (its "busy" time, summed across workers). The wrapper
+// adds two time.Now reads and three atomic adds per batch and allocates
+// nothing at steady state, so it can sit on the service's streaming hot path
+// and inside validation's measurement passes — per-stage batches, edges, and
+// busy_seconds are what turn "the pipeline is slow" into "this stage is the
+// bottleneck". Close passes through untouched: instrumentation must not
+// change the sink lifecycle it observes.
+func Instrument(stage *obs.Stage, sink Sink) Sink {
+	return &instrumented{stage: stage, sink: sink}
+}
+
+func (i *instrumented) WriteBatch(p int, batch []Edge) error {
+	start := time.Now()
+	err := i.sink.WriteBatch(p, batch)
+	i.stage.Record(len(batch), time.Since(start))
+	return err
+}
+
+func (i *instrumented) Close() error { return i.sink.Close() }

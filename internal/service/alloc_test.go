@@ -4,14 +4,16 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/kron"
 )
 
 // TestStreamServiceZeroAllocsPerBatch is the alloc-regression guard for the
 // pooled streaming hot path: one steady-state round trip — a worker batch
-// through the job's full sink chain (progress fold, checksum fold, pooled
-// hand-off) and the consumer's recycle — must allocate nothing. The
+// through the job's full instrumented sink chain (progress fold, checksum
+// fold, pooled hand-off, each behind pipeline.Instrument) and the consumer's
+// recycle — must allocate nothing. The
 // pre-pipeline service failed this by construction: its emit callback did
 // `out := make([]kron.Edge, len(batch)); copy(out, batch)` per batch, one
 // guaranteed allocation on the hottest serving path. The round trip is run
@@ -34,6 +36,9 @@ func TestStreamServiceZeroAllocsPerBatch(t *testing.T) {
 		done:     make(chan struct{}),
 	}
 	sink, cks := m.jobSink(j)
+	// Snapshot the (process-global) stage counters so the end-of-test
+	// assertion measures only this test's traffic.
+	stageBefore := obs.Stages.Stage(stageProgress).Snapshot()
 
 	batch := make([]kron.Edge, cfg.BatchSize)
 	for i := range batch {
@@ -73,5 +78,16 @@ func TestStreamServiceZeroAllocsPerBatch(t *testing.T) {
 	j.Recycle(b)
 	if cks.Sum() == before {
 		t.Fatal("checksum fold never ran — the measured chain is not the service sink chain")
+	}
+	// The zero-alloc figure above covers the instrumentation wrappers too:
+	// the stage counters must show every batch this test pushed, or the
+	// measured chain silently lost its Instrument layer.
+	stageAfter := obs.Stages.Stage(stageProgress).Snapshot()
+	if d := stageAfter.Batches - stageBefore.Batches; d < 102 { // warm-up + 100 timed + distinct
+		t.Fatalf("stage %q recorded %d batches during the test, want ≥ 102 — "+
+			"the instrumented wrappers are not in the measured chain", stageProgress, d)
+	}
+	if stageAfter.Busy <= stageBefore.Busy {
+		t.Fatalf("stage %q busy time did not advance", stageProgress)
 	}
 }

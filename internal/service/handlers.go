@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -52,6 +53,11 @@ type Config struct {
 	// enumerate synchronously; larger plans must be verified shard-by-shard
 	// by the processes that generate them.
 	MaxChecksumEdges int64
+	// Logger receives the service's structured records: one access-log line
+	// per request and the job lifecycle (admission, completion with its
+	// phase timeline). nil discards them — embedding tests stay quiet, and
+	// kronserve always passes a real handler.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns production-shaped limits: bounded admission, a B
@@ -86,6 +92,7 @@ type Service struct {
 	hashes  *lru[DesignRequest]
 	manager *Manager
 	mux     *http.ServeMux
+	logger  *slog.Logger
 }
 
 // New builds a Service from cfg, filling unset limits from DefaultConfig.
@@ -124,9 +131,13 @@ func New(cfg Config) *Service {
 	if cfg.MaxChecksumEdges <= 0 {
 		cfg.MaxChecksumEdges = def.MaxChecksumEdges
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Service{
 		cfg:     cfg,
-		metrics: &Metrics{},
+		metrics: NewMetrics(),
+		logger:  cfg.Logger,
 		cache:   newDesignCache(cfg.CacheSize),
 		// The hash registry is a lookup table, not a cache: a negative
 		// CacheSize legitimately disables the property and plan caches
@@ -140,8 +151,9 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Service) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler, wrapped with the request-
+// observability middleware (per-route latency histograms + access log).
+func (s *Service) Handler() http.Handler { return s.withObservability(s.mux) }
 
 // Metrics returns the service's metrics for embedding programs.
 func (s *Service) Metrics() *Metrics { return s.metrics }
@@ -156,6 +168,7 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/edges", s.handleStreamEdges)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/validate/{id}", s.handleValidate)
@@ -276,6 +289,31 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.job(w, r); ok {
 		writeJSON(w, http.StatusOK, j.Status())
 	}
+}
+
+// TraceResponse is the JSON rendering of one job's phase timeline: every
+// lifecycle transition the job went through, in order, with monotone
+// timestamps — the per-job answer to "where did the time go" that aggregate
+// histograms cannot give.
+type TraceResponse struct {
+	ID     string       `json:"id"`
+	State  JobState     `json:"state"`
+	Events []TraceEvent `json:"events"`
+}
+
+// handleJobTrace serves the job's accumulated phase events. The timeline is
+// available at any point in the job's life; once the job is terminal its
+// last event is the terminal phase (done/failed/cancelled).
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{
+		ID:     j.ID(),
+		State:  j.Status().State,
+		Events: j.Trace(),
+	})
 }
 
 func (s *Service) handleStreamEdges(w http.ResponseWriter, r *http.Request) {

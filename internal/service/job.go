@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/kron"
 )
@@ -35,6 +38,39 @@ const (
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Trace phases — the lifecycle positions a job's timeline records. Terminal
+// events reuse the JobState strings (done/failed/cancelled), so a trace's
+// last phase names how the job ended.
+const (
+	// PhaseAdmitted: the job passed admission and holds a slot.
+	PhaseAdmitted = "admitted"
+	// PhaseShardPlanned: the deterministic plan slice this job generates was
+	// resolved (sharded jobs only; carries the B range and edge count).
+	PhaseShardPlanned = "shard-planned"
+	// PhaseConsumerAttached: the /edges consumer claimed the stream
+	// (streaming jobs only).
+	PhaseConsumerAttached = "consumer-attached"
+	// PhasePlanned: the split sides were realized and the generator built.
+	PhasePlanned = "planned"
+	// PhaseGenerating: generation workers started producing edges.
+	PhaseGenerating = "generating"
+	// PhaseStreaming: the first pooled batch reached the /edges consumer
+	// (streaming jobs only).
+	PhaseStreaming = "streaming"
+)
+
+// TraceEvent is one entry of a job's phase timeline.
+type TraceEvent struct {
+	// Phase is the lifecycle position reached (one of the Phase* constants
+	// or a terminal JobState string).
+	Phase string `json:"phase"`
+	// At is when the phase was reached; events are appended in order, so
+	// timestamps are monotone non-decreasing.
+	At time.Time `json:"at"`
+	// Detail carries phase-specific context (shard ranges, error text).
+	Detail string `json:"detail,omitempty"`
 }
 
 // Sink selects what happens to generated edges.
@@ -113,8 +149,51 @@ type Job struct {
 	// done is closed when the run loop exits.
 	done chan struct{}
 
+	// trace is the job's phase timeline, appended under mu; see TraceEvent.
+	trace []TraceEvent
+
 	valMu      sync.Mutex
 	validation *ValidationResponse
+}
+
+// markLocked appends a phase event; the caller holds j.mu.
+func (j *Job) markLocked(phase, detail string) {
+	j.trace = append(j.trace, TraceEvent{Phase: phase, At: time.Now(), Detail: detail})
+}
+
+// mark appends a phase event to the job's timeline.
+func (j *Job) mark(phase, detail string) {
+	j.mu.Lock()
+	j.markLocked(phase, detail)
+	j.mu.Unlock()
+}
+
+// Trace returns a copy of the job's phase timeline so far.
+func (j *Job) Trace() []TraceEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]TraceEvent(nil), j.trace...)
+}
+
+// phaseSummary renders the timeline compactly for one log record:
+// "admitted → planned(+1.2ms) → generating(+1.3ms) → done(+50ms)", offsets
+// relative to the first event. Caller holds j.mu.
+func (j *Job) phaseSummaryLocked() string {
+	if len(j.trace) == 0 {
+		return ""
+	}
+	t0 := j.trace[0].At
+	var b strings.Builder
+	for i, ev := range j.trace {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(ev.Phase)
+		if i > 0 {
+			fmt.Fprintf(&b, "(+%s)", ev.At.Sub(t0).Round(10*time.Microsecond))
+		}
+	}
+	return b.String()
 }
 
 // ID returns the job identifier.
@@ -153,6 +232,7 @@ func (j *Job) Attach() (<-chan *pipeline.Batch, error) {
 		return nil, fmt.Errorf("job %s already has a stream consumer; edges are not stored for replay", j.id)
 	}
 	j.attached = true
+	j.markLocked(PhaseConsumerAttached, "")
 	close(j.attachCh)
 	return j.stream.Batches(), nil
 }
@@ -267,6 +347,7 @@ func (j *Job) Status() JobStatus {
 type Manager struct {
 	cfg     Config
 	metrics *Metrics
+	logger  *slog.Logger
 	// plans caches deterministic shard plans by (design hash, split, shards);
 	// see planFor in shardplan.go.
 	plans *lru[[]kron.ShardInfo]
@@ -283,11 +364,17 @@ type Manager struct {
 // ErrBusy is returned by Submit when the concurrent-job limit is reached.
 var ErrBusy = errors.New("service: concurrent job limit reached")
 
-// NewManager returns a Manager using cfg's limits and recording to metrics.
+// NewManager returns a Manager using cfg's limits, recording to metrics,
+// and logging job lifecycle records to cfg.Logger (nil discards them).
 func NewManager(cfg Config, metrics *Metrics) *Manager {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	return &Manager{
 		cfg:     cfg,
 		metrics: metrics,
+		logger:  logger,
 		plans:   newLRU[[]kron.ShardInfo](cfg.CacheSize),
 		jobs:    make(map[string]*Job),
 	}
@@ -402,6 +489,12 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		// cancelled, exactly as the raw channel send did.
 		j.stream = pipeline.NewAsync(ctx, m.cfg.QueueDepth)
 	}
+	j.markLocked(PhaseAdmitted, fmt.Sprintf("workers=%d split=%d sink=%s", workers, split, sink))
+	if shard != nil {
+		j.markLocked(PhaseShardPlanned,
+			fmt.Sprintf("shard=%d/%d bRange=[%d,%d) edges=%d",
+				shard.Shard, shard.Shards, shard.BLo, shard.BHi, shard.Edges))
+	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.wg.Add(1)
@@ -409,6 +502,9 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 
 	m.metrics.JobsCreated.Add(1)
 	m.metrics.JobsActive.Add(1)
+	m.logger.Info("job admitted",
+		"job", j.id, "design", req.DesignRequest.Hash(), "workers", workers,
+		"split", split, "sink", sink, "totalEdges", totalEdges, "sharded", shard != nil)
 	go m.run(j)
 	return j, nil
 }
@@ -484,6 +580,7 @@ func (m *Manager) run(j *Job) {
 		m.finish(j, err)
 		return
 	}
+	j.mark(PhasePlanned, fmt.Sprintf("split=%d nnzB=%d nnzC=%d", j.split, g.BNNZ(), g.CNNZ()))
 	if err := j.ctx.Err(); err != nil { // cancelled during realization
 		m.finish(j, err)
 		return
@@ -492,7 +589,10 @@ func (m *Manager) run(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	start := j.started
+	queueWait := start.Sub(j.created)
+	j.markLocked(PhaseGenerating, "")
 	j.mu.Unlock()
+	m.metrics.JobQueueWait.Observe(queueWait)
 	err = m.generate(j, g)
 	m.metrics.GenNanos.Add(time.Since(start).Nanoseconds())
 	m.finish(j, err)
@@ -524,6 +624,15 @@ func (m *Manager) generate(j *Job, g *kron.Generator) error {
 	return err
 }
 
+// Stage names under which the job sink chain's members report to /metrics
+// (kronserve_stage_*_total{stage=...}). Process-wide totals: every job's
+// chain records into the same three stages.
+const (
+	stageProgress = "service_progress"
+	stageChecksum = "service_checksum"
+	stageStream   = "service_stream"
+)
+
 // jobSink builds the job's one-pass sink chain: the progress/metrics fold
 // and the checksum fold, teed with the pooled stream hand-off for streaming
 // jobs. The stream sink rides behind pipeline.KeepOpen — the run loop, not
@@ -539,10 +648,17 @@ func (m *Manager) jobSink(j *Job) (pipeline.Sink, *pipeline.Checksum) {
 		m.metrics.EdgesGenerated.Add(n)
 		return nil
 	})
+	// Every member rides behind pipeline.Instrument, so /metrics carries
+	// per-stage batches, edges, and busy-seconds for the whole serving
+	// chain; the wrappers add two clock reads and three atomic adds per
+	// batch and keep the chain allocation-free (pinned by the alloc guard).
+	instrProgress := pipeline.Instrument(obs.Stages.Stage(stageProgress), progress)
+	instrCks := pipeline.Instrument(obs.Stages.Stage(stageChecksum), cks)
 	if j.stream == nil {
-		return pipeline.Tee(progress, cks), cks
+		return pipeline.Tee(instrProgress, instrCks), cks
 	}
-	return pipeline.Tee(progress, cks, pipeline.KeepOpen(j.stream)), cks
+	stream := pipeline.Instrument(obs.Stages.Stage(stageStream), pipeline.KeepOpen(j.stream))
+	return pipeline.Tee(instrProgress, instrCks, stream), cks
 }
 
 // finish records the terminal state exactly once per job. Classification
@@ -570,12 +686,36 @@ func (m *Manager) finish(j *Job, err error) {
 		j.err = err
 		m.metrics.JobsFailed.Add(1)
 	}
+	// The terminal trace event reuses the state string, so a trace's last
+	// phase names how the job ended; failures carry the error text.
+	detail := ""
+	if j.err != nil {
+		detail = j.err.Error()
+	}
+	j.markLocked(string(j.state), detail)
+	state := j.state
+	var runTime time.Duration
+	if !j.started.IsZero() {
+		runTime = j.finished.Sub(j.started)
+	}
+	summary := j.phaseSummaryLocked()
 	j.mu.Unlock()
+	if runTime > 0 {
+		m.metrics.JobRunTime.Observe(runTime)
+	}
 	m.mu.Lock()
 	m.active--
 	m.pruneLocked()
 	m.mu.Unlock()
 	m.metrics.JobsActive.Add(-1)
+	attrs := []any{
+		"job", j.id, "state", state, "edges", j.generated.Load(),
+		"runTime", runTime, "phases", summary,
+	}
+	if err != nil {
+		attrs = append(attrs, "err", err)
+	}
+	m.logger.Info("job finished", attrs...)
 }
 
 // pruneLocked evicts the oldest finished jobs beyond MaxJobHistory so a

@@ -1,15 +1,23 @@
 package service
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
-// Metrics holds the service's counters and gauges. Everything is a plain
-// atomic so the hot generation path pays one uncontended add per batch; the
-// /metrics endpoint renders the Prometheus text exposition format without
-// pulling in a client library.
+// Metrics holds the service's counters, gauges, and latency histograms.
+// Counters are plain atomics so the hot generation path pays one uncontended
+// add per batch; histograms are obs's fixed-bucket atomic histograms (one
+// atomic add per observation); and Stages is the process-default pipeline
+// stage registry — per-stage batches/edges/busy-seconds recorded by
+// pipeline.Instrument wrappers in the job sink chain and validation's
+// tally/scatter passes. The /metrics endpoint renders everything in
+// Prometheus text exposition format without pulling in a client library.
 type Metrics struct {
 	JobsCreated   atomic.Int64 // counter: jobs admitted
 	JobsRejected  atomic.Int64 // counter: jobs refused admission (concurrency limit)
@@ -33,6 +41,52 @@ type Metrics struct {
 	ShardPlansBuilt  atomic.Int64 // counter: shard plans computed (plan-cache misses)
 	PlanCacheHits    atomic.Int64 // counter: shard plans served from the plan LRU
 	PlansChecksummed atomic.Int64 // counter: plans verified by full checksum enumeration
+
+	// HTTPLatency is the per-route request latency histogram family,
+	// observed by the access-log middleware on every request and labelled by
+	// the ServeMux route pattern that matched.
+	HTTPLatency *obs.HistogramVec
+	// JobQueueWait measures admitted→started: how long jobs sit in the
+	// pending state (consumer attach wait plus split realization) before
+	// generation begins.
+	JobQueueWait *obs.Histogram
+	// JobRunTime measures started→finished: the generation phase proper.
+	JobRunTime *obs.Histogram
+	// StreamBatchGap measures the inter-arrival time between consecutive
+	// pooled batches observed by one /edges consumer — the streaming side's
+	// answer to "is generation or the client the bottleneck" (long gaps with
+	// a fast client mean generation is starved; short gaps with slow drains
+	// mean the client is).
+	StreamBatchGap *obs.Histogram
+	// Stages is the pipeline stage registry rendered under
+	// kronserve_stage_*; it aliases the process-default obs.Stages that
+	// every Instrument wrapper in the process records into.
+	Stages *obs.StageSet
+}
+
+// NewMetrics returns a Metrics with every histogram allocated. The zero
+// Metrics value stays usable for counter-only callers (nil histograms drop
+// observations), but only a NewMetrics instance renders the full exposition.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		// HTTP requests span instant property queries to chunked edge
+		// streams: 100µs resolution up to ~26s, +Inf beyond.
+		HTTPLatency: obs.NewHistogramVec("kronserve_http_request_seconds",
+			"HTTP request latency by ServeMux route pattern.", "route",
+			obs.ExpBuckets(100*time.Microsecond, 2, 18)),
+		// Queue wait is dominated by consumer attach latency; jobs can
+		// legitimately wait minutes (AttachTimeout defaults to 2m).
+		JobQueueWait: obs.NewHistogram("kronserve_job_queue_wait_seconds",
+			"Time from job admission to generation start (attach wait + split realization).",
+			obs.ExpBuckets(time.Millisecond, 2, 18)),
+		JobRunTime: obs.NewHistogram("kronserve_job_run_seconds",
+			"Time from generation start to the job's terminal state.",
+			obs.ExpBuckets(time.Millisecond, 2, 20)),
+		StreamBatchGap: obs.NewHistogram("kronserve_stream_batch_gap_seconds",
+			"Inter-arrival time between pooled batches at the edge-stream consumer.",
+			obs.ExpBuckets(10*time.Microsecond, 2, 16)),
+		Stages: obs.Stages,
+	}
 }
 
 // EdgesPerSec returns the service-lifetime aggregate generation rate:
@@ -45,12 +99,28 @@ func (m *Metrics) EdgesPerSec() float64 {
 	return float64(m.EdgesGenerated.Load()) / (float64(ns) / 1e9)
 }
 
-// WriteTo renders the metrics in Prometheus text exposition format.
+// countWriter counts the bytes written through it so WriteTo can keep its
+// io.WriterTo-shaped signature while rendering through a buffer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format. The
+// whole exposition is staged through one bufio.Writer and flushed once, so a
+// scrape costs one syscall burst instead of a write per series; the first
+// underlying error sticks (bufio short-circuits after it) and is returned.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
-	var n int64
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 32<<10)
 	emit := func(name, help, typ string, value any) error {
-		c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
-		n += int64(c)
+		_, err := fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
 		return err
 	}
 	for _, row := range []struct {
@@ -78,8 +148,21 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"kronserve_shard_plans_checksummed_total", "Plans verified by full checksum enumeration.", "counter", m.PlansChecksummed.Load()},
 	} {
 		if err := emit(row.name, row.help, row.typ, row.value); err != nil {
-			return n, err
+			return cw.n, err
 		}
 	}
-	return n, nil
+	// Histograms and stage counters render nothing when unset (zero-value
+	// Metrics), so counter-only embedders keep their exposition.
+	for _, h := range []interface {
+		Render(io.Writer) error
+	}{m.HTTPLatency, m.JobQueueWait, m.JobRunTime, m.StreamBatchGap} {
+		if err := h.Render(bw); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := m.Stages.Render(bw, "kronserve"); err != nil {
+		return cw.n, err
+	}
+	err := bw.Flush()
+	return cw.n, err
 }

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// statusRecorder captures the status code and body byte count of a response
+// so the access log and the per-route latency histograms can see how a
+// request actually ended. It forwards Flush so the streaming handlers'
+// chunked-transfer contract survives the wrapping (streamJob type-asserts
+// http.Flusher on the writer it is handed).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK // implicit 200 on first write
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing. The
+// method exists unconditionally so wrapping never hides the capability from
+// handlers that probe for it.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status returns the response status, defaulting to 200 for handlers that
+// wrote a body (or nothing) without an explicit WriteHeader.
+func (r *statusRecorder) Status() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}
+
+// reqSeq numbers requests for log correlation. Process-global so IDs stay
+// unique across Service instances sharing a binary.
+var reqSeq atomic.Int64
+
+// withObservability wraps the mux with the request-observability middleware:
+// every request gets a sequential id, its latency lands in the per-route
+// histogram (labelled by the ServeMux pattern that matched, so
+// "/v1/jobs/{id}" stays one series no matter how many jobs exist), and one
+// structured access-log record is emitted with method, route, status, bytes,
+// and duration. The histogram observation and the log record come from the
+// same measurement, so the two never disagree.
+func (s *Service) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := reqSeq.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		// r.Pattern is filled in by the ServeMux on match and still set after
+		// the handler returns; unrouted requests (404s from the mux itself)
+		// fold into one "unmatched" series rather than one per bad path.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.metrics.HTTPLatency.With(route).Observe(elapsed)
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+			slog.Int64("req", id),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.Status()),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("duration", elapsed),
+		)
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/graphio"
 	"repro/kron"
@@ -133,6 +134,10 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 		return nil
 	}
 	clientGone := r.Context().Done()
+	// lastBatch times the gaps between consecutive batch receives for the
+	// inter-arrival histogram; zero until the first batch lands (which also
+	// marks the job's streaming phase).
+	var lastBatch time.Time
 	for {
 		select {
 		case b, ok := <-ch:
@@ -145,6 +150,13 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 				_ = flush()
 				return
 			}
+			now := time.Now()
+			if lastBatch.IsZero() {
+				j.mark(PhaseStreaming, "")
+			} else {
+				s.metrics.StreamBatchGap.Observe(now.Sub(lastBatch))
+			}
+			lastBatch = now
 			err := write(b.Edges)
 			// The pooled buffer goes back before any error handling: the
 			// encoder copied the bytes it needed, and recycling on every

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// getTrace fetches and decodes one job's trace.
+func getTrace(t *testing.T, base, id string) (TraceResponse, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return TraceResponse{}, resp.StatusCode
+	}
+	return decodeBody[TraceResponse](t, resp), http.StatusOK
+}
+
+// phases flattens a trace's phase names for order assertions.
+func phases(tr TraceResponse) []string {
+	out := make([]string, len(tr.Events))
+	for i, ev := range tr.Events {
+		out[i] = ev.Phase
+	}
+	return out
+}
+
+// checkTimeline asserts the trace invariants every job shares: at least one
+// event, monotone non-decreasing timestamps, PhaseAdmitted first, and a
+// terminal phase last that matches the job's state.
+func checkTimeline(t *testing.T, tr TraceResponse, wantState JobState) {
+	t.Helper()
+	if tr.State != wantState {
+		t.Fatalf("trace state %s, want %s", tr.State, wantState)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].At.Before(tr.Events[i-1].At) {
+			t.Fatalf("timestamps not monotone: %s at %v before %s at %v",
+				tr.Events[i].Phase, tr.Events[i].At, tr.Events[i-1].Phase, tr.Events[i-1].At)
+		}
+	}
+	if got := tr.Events[0].Phase; got != PhaseAdmitted {
+		t.Fatalf("first phase %q, want %q", got, PhaseAdmitted)
+	}
+	if got := tr.Events[len(tr.Events)-1].Phase; got != string(wantState) {
+		t.Fatalf("last phase %q, want terminal %q", got, wantState)
+	}
+}
+
+// indexOf returns the position of a phase in the trace, or -1.
+func indexOf(tr TraceResponse, phase string) int {
+	for i, ev := range tr.Events {
+		if ev.Phase == phase {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestJobTracePlain walks a discard job's timeline over HTTP: admitted →
+// planned → generating → done, in order, with monotone timestamps.
+func TestJobTracePlain(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design, Workers: 2, Split: 1, Sink: SinkDiscard})
+	job := decodeBody[JobStatus](t, resp)
+	waitForState(t, ts.URL, job.ID, StateDone)
+
+	tr, status := getTrace(t, ts.URL, job.ID)
+	if status != http.StatusOK {
+		t.Fatalf("GET trace: %d", status)
+	}
+	checkTimeline(t, tr, StateDone)
+	last := -1
+	for _, phase := range []string{PhaseAdmitted, PhasePlanned, PhaseGenerating, string(StateDone)} {
+		i := indexOf(tr, phase)
+		if i < 0 {
+			t.Fatalf("trace %v missing phase %q", phases(tr), phase)
+		}
+		if i <= last {
+			t.Fatalf("trace %v has %q out of order", phases(tr), phase)
+		}
+		last = i
+	}
+	// The admission event records the job's shape for post-hoc debugging.
+	if d := tr.Events[0].Detail; !strings.Contains(d, "workers=2") || !strings.Contains(d, "sink=discard") {
+		t.Fatalf("admission detail %q missing job shape", d)
+	}
+}
+
+// TestJobTraceShardAndStream covers the two optional phases: a sharded job
+// records its plan slice, and a consumed stream job records consumer attach
+// and first-batch streaming between generating and done.
+func TestJobTraceShardAndStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+
+	resp := postJSON(t, ts.URL+"/v1/jobs",
+		JobRequest{DesignRequest: design, Workers: 2, Split: 1, Sink: SinkDiscard, Shards: 2, Shard: 1})
+	sharded := decodeBody[JobStatus](t, resp)
+	waitForState(t, ts.URL, sharded.ID, StateDone)
+	tr, _ := getTrace(t, ts.URL, sharded.ID)
+	checkTimeline(t, tr, StateDone)
+	i := indexOf(tr, PhaseShardPlanned)
+	if i < 0 {
+		t.Fatalf("sharded trace %v missing %q", phases(tr), PhaseShardPlanned)
+	}
+	if d := tr.Events[i].Detail; !strings.Contains(d, "shard=1/2") || !strings.Contains(d, "bRange=") {
+		t.Fatalf("shard-planned detail %q missing plan slice", d)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/jobs", JobRequest{DesignRequest: design, Workers: 2, Split: 1})
+	sjob := decodeBody[JobStatus](t, resp)
+	eresp, err := http.Get(ts.URL + "/v1/jobs/" + sjob.ID + "/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := eresp.Body
+	buf := make([]byte, 1<<16)
+	for {
+		if _, err := sc.Read(buf); err != nil {
+			break
+		}
+	}
+	sc.Close()
+	waitForState(t, ts.URL, sjob.ID, StateDone)
+	tr, _ = getTrace(t, ts.URL, sjob.ID)
+	checkTimeline(t, tr, StateDone)
+	attach, stream := indexOf(tr, PhaseConsumerAttached), indexOf(tr, PhaseStreaming)
+	if attach < 0 || stream < 0 {
+		t.Fatalf("stream trace %v missing attach or streaming phase", phases(tr))
+	}
+	if gen := indexOf(tr, PhaseGenerating); !(attach < gen && gen < stream) {
+		t.Fatalf("stream trace %v: want attach < generating < streaming", phases(tr))
+	}
+}
+
+// TestJobTraceFailed drives a job to StateFailed — no public API path fails
+// deterministically, so the job is registered by hand with an invalid split
+// and run synchronously — and checks the trace ends in a failed event whose
+// detail carries the error.
+func TestJobTraceFailed(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
+	d, err := design.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := svc.manager
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j := &Job{
+		id:       "jfail01",
+		req:      JobRequest{DesignRequest: design},
+		design:   d,
+		workers:  1,
+		split:    99, // invalid: far beyond the design's factor count
+		sink:     SinkDiscard,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StatePending,
+		created:  time.Now(),
+		attachCh: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	j.markLocked(PhaseAdmitted, "workers=1 split=99 sink=discard")
+	m.mu.Lock()
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.active++
+	m.wg.Add(1)
+	m.mu.Unlock()
+	m.run(j) // synchronous: NewGenerator rejects the split and finish records the failure
+
+	tr, status := getTrace(t, ts.URL, j.id)
+	if status != http.StatusOK {
+		t.Fatalf("GET trace: %d", status)
+	}
+	checkTimeline(t, tr, StateFailed)
+	fail := tr.Events[len(tr.Events)-1]
+	if fail.Detail == "" {
+		t.Fatal("failed event carries no error detail")
+	}
+	if got := indexOf(tr, PhaseGenerating); got >= 0 {
+		t.Fatalf("trace %v reached generating despite failing at planning", phases(tr))
+	}
+}
+
+// TestJobTraceNotFound pins the 404 for unknown job ids.
+func TestJobTraceNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if _, status := getTrace(t, ts.URL, "nope"); status != http.StatusNotFound {
+		t.Fatalf("trace of unknown job: %d, want 404", status)
+	}
+}

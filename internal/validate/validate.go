@@ -36,9 +36,20 @@ import (
 	"repro/internal/bigdeg"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/semiring"
 	"repro/internal/sparse"
 	"repro/internal/triangle"
+)
+
+// Stage names the validation passes report under in the process-default
+// stage registry (kronserve renders them as kronserve_stage_*_total{stage=...}
+// when validation runs in-server), so the per-pass batch/edge/busy totals
+// behind a fig4 scaling run are readable off /metrics.
+const (
+	stageTally   = "validate_tally"
+	stageScatter = "validate_scatter"
 )
 
 // Report compares predicted and measured properties of one design.
@@ -104,7 +115,7 @@ func RunContext(ctx context.Context, d *core.Design, nb, np int) (*Report, error
 	// so the pass shares nothing, like the generator underneath it. Both
 	// passes are pipeline sinks over the same StreamTo engine every other
 	// stream consumer rides — the measurement is just another fold.
-	if err := g.StreamTo(ctx, np, 0, tallySink{builder}); err != nil {
+	if err := g.StreamTo(ctx, np, 0, pipeline.Instrument(obs.Stages.Stage(stageTally), tallySink{builder})); err != nil {
 		return nil, err
 	}
 	if err := builder.Finalize(); err != nil {
@@ -130,7 +141,7 @@ func RunContext(ctx context.Context, d *core.Design, nb, np int) (*Report, error
 	// Pass 2 — scatter the regenerated stream into the CSR. The generator
 	// is deterministic per worker, so each worker replays exactly the band
 	// it counted.
-	if err := g.StreamTo(ctx, np, 0, scatterSink{builder}); err != nil {
+	if err := g.StreamTo(ctx, np, 0, pipeline.Instrument(obs.Stages.Stage(stageScatter), scatterSink{builder})); err != nil {
 		return nil, err
 	}
 	a, err := builder.Build()

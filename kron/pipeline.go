@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -84,6 +85,27 @@ func StreamTo(ctx context.Context, g *Generator, np, batchSize int, sink Sink) e
 // composable sink — StreamTo's multi-process face.
 func StreamShardTo(ctx context.Context, g *Generator, s ShardInfo, np, batchSize int, sink Sink) error {
 	return g.StreamShardTo(ctx, s, np, batchSize, sink)
+}
+
+// Instrument wraps sink so every batch is folded into the named pipeline
+// stage of the process-default stage registry: batches, edges, and the
+// wall-clock time the wrapped sink spent in WriteBatch (its busy time,
+// summed across workers). The wrapper allocates nothing per batch, so it can
+// ride any hot path; kronserve's /metrics renders every stage as
+// kronserve_stage_{batches,edges,busy_seconds}_total{stage="<name>"}, and
+// StageMetricsTo renders the same registry for embedding programs.
+//
+//	err := kron.StreamTo(ctx, g, np, 0,
+//		kron.Tee(kron.Instrument("writer", kron.Writer(ew)), cnt))
+func Instrument(name string, sink Sink) Sink {
+	return pipeline.Instrument(obs.Stages.Stage(name), sink)
+}
+
+// StageMetricsTo renders every instrumented stage's counters in Prometheus
+// text exposition format as <prefix>_stage_{batches,edges,busy_seconds}_total
+// series labelled by stage name.
+func StageMetricsTo(w io.Writer, prefix string) error {
+	return obs.Stages.Render(w, prefix)
 }
 
 // CompatStreamBatchSize is the internal batch size the per-edge
