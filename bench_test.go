@@ -97,7 +97,7 @@ func BenchmarkFig3EdgeRate(b *testing.B) {
 			var edges int64
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				total, _, err := g.CountEdges(w)
+				total, _, err := g.CountEdges(context.Background(), w)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -125,7 +125,7 @@ func BenchmarkStreamPerEdgeFig3(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := g.Stream(np, func(p int, e kron.Edge) error {
+		err := g.Stream(context.Background(), np, func(p int, e kron.Edge) error {
 			counts[p].n++
 			return nil
 		})
@@ -185,7 +185,7 @@ func BenchmarkFig4Validation(b *testing.B) {
 	np := runtime.GOMAXPROCS(0)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r, err := kron.Validate(d, 2, np)
+		r, err := kron.Validate(context.Background(), d, 2, np)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -269,7 +269,7 @@ func BenchmarkAblationSplitPoint(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := g.CountEdges(np); err != nil {
+				if _, _, err := g.CountEdges(context.Background(), np); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -292,7 +292,7 @@ func BenchmarkAblationStreamVsMaterialize(b *testing.B) {
 	b.Run("stream-count", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := g.CountEdges(np); err != nil {
+			if _, _, err := g.CountEdges(context.Background(), np); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -66,11 +66,13 @@ func main() {
 		os.Exit(1)
 	}
 	runErr := run(*fig, *workers)
-	if err := stopCPU(); err != nil {
-		fmt.Fprintln(os.Stderr, "kronbench:", err)
+	// A profile that fails to stop or write is a lost measurement: it must
+	// fail the run, not just print. The run's own error keeps priority.
+	if err := stopCPU(); err != nil && runErr == nil {
+		runErr = err
 	}
-	if err := cliutil.WriteHeapProfile(*memprofile); err != nil {
-		fmt.Fprintln(os.Stderr, "kronbench:", err)
+	if err := cliutil.WriteHeapProfile(*memprofile); err != nil && runErr == nil {
+		runErr = err
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "kronbench:", runErr)
@@ -177,7 +179,7 @@ func fig2(int) error {
 		if err != nil {
 			return err
 		}
-		r, err := kron.Validate(d, 1, 2)
+		r, err := kron.Validate(context.Background(), d, 1, 2)
 		if err != nil {
 			return err
 		}
@@ -209,7 +211,7 @@ func fig3(maxWorkers int) error {
 	var measured []parallel.ScalingPoint
 	for np := 1; np <= maxWorkers; np *= 2 {
 		start := time.Now()
-		total, _, err := g.CountEdges(np)
+		total, _, err := g.CountEdges(context.Background(), np)
 		if err != nil {
 			return err
 		}
@@ -236,7 +238,7 @@ func fig3(maxWorkers int) error {
 	}
 	counts := make([]paddedCount, maxWorkers)
 	start := time.Now()
-	if err := g.Stream(maxWorkers, func(p int, e gen.Edge) error {
+	if err := g.Stream(context.Background(), maxWorkers, func(p int, e gen.Edge) error {
 		counts[p].n++
 		return nil
 	}); err != nil {
@@ -345,7 +347,7 @@ func fig3(maxWorkers int) error {
 		return err
 	}
 	start = time.Now()
-	fullTotal, _, err := g.CountEdges(1)
+	fullTotal, _, err := g.CountEdges(context.Background(), 1)
 	if err != nil {
 		return err
 	}
@@ -418,7 +420,7 @@ func fig4(maxWorkers int) error {
 	if err != nil {
 		return err
 	}
-	r, err := kron.Validate(small, 2, maxWorkers)
+	r, err := kron.Validate(context.Background(), small, 2, maxWorkers)
 	if err != nil {
 		return err
 	}
@@ -448,7 +450,7 @@ func fig4(maxWorkers int) error {
 	singleRate := 0.0
 	for np := 1; np <= maxWorkers; np *= 2 {
 		start = time.Now()
-		srep, err := validate.RunContext(context.Background(), bd, benchSplit, np)
+		srep, err := validate.Run(context.Background(), bd, benchSplit, np)
 		if err != nil {
 			return err
 		}

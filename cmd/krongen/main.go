@@ -43,7 +43,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("krongen", flag.ContinueOnError)
 	mhat := fs.String("mhat", "", "comma-separated star sizes m̂")
 	loop := fs.String("loop", "none", "self-loop mode: none, hub, or leaf")
@@ -62,12 +62,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// A profile that fails to stop or write is a lost measurement; surface it
+	// in the exit status (the run's own error keeps priority) instead of only
+	// printing it.
 	defer func() {
-		if err := stopCPU(); err != nil {
-			fmt.Fprintln(os.Stderr, "krongen:", err)
+		if perr := stopCPU(); perr != nil && err == nil {
+			err = perr
 		}
-		if err := cliutil.WriteHeapProfile(*memprofile); err != nil {
-			fmt.Fprintln(os.Stderr, "krongen:", err)
+		if perr := cliutil.WriteHeapProfile(*memprofile); perr != nil && err == nil {
+			err = perr
 		}
 	}()
 	points, err := cliutil.ParsePoints(*mhat)
@@ -110,7 +113,7 @@ func run(args []string) error {
 		if shard != nil {
 			total, checksum, err = g.CountShard(context.Background(), *shard, *workers)
 		} else {
-			total, checksum, err = g.CountEdges(*workers)
+			total, checksum, err = g.CountEdges(context.Background(), *workers)
 		}
 		if err != nil {
 			return err

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 // parseShard must reject anything but a complete "k/K" — trailing garbage
 // silently accepted (the old fmt.Sscanf behavior) would generate the wrong
@@ -36,5 +39,15 @@ func TestParseShard(t *testing.T) {
 		} else if err == nil {
 			t.Errorf("parseShard(%q) accepted as %d/%d", tc.spec, k, total)
 		}
+	}
+}
+
+// A heap profile that cannot be written must surface in run's error — and
+// hence the exit status — not just a stderr line: a silently lost profile
+// reads as a successful measurement run.
+func TestRunSurfacesProfileWriteFailure(t *testing.T) {
+	dest := filepath.Join(t.TempDir(), "missing", "heap.prof")
+	if err := run([]string{"-mhat", "3,4", "-loop", "hub", "-count", "-memprofile", dest}); err == nil {
+		t.Fatal("run succeeded despite an unwritable -memprofile path")
 	}
 }

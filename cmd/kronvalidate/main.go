@@ -51,7 +51,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := kron.ValidateContext(ctx, d, *split, *workers)
+	r, err := kron.Validate(ctx, d, *split, *workers)
 	if err != nil {
 		return err
 	}

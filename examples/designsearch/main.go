@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -67,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := kron.Validate(d, 2, runtime.GOMAXPROCS(0))
+	rep, err := kron.Validate(context.Background(), d, 2, runtime.GOMAXPROCS(0))
 	if err != nil {
 		log.Fatal(err)
 	}

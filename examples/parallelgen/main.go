@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -74,7 +75,7 @@ func main() {
 	fmt.Println("\nedge generation rate vs workers:")
 	for w := 1; w <= runtime.GOMAXPROCS(0)*2; w *= 2 {
 		start := time.Now()
-		total, _, err := g.CountEdges(w)
+		total, _, err := g.CountEdges(context.Background(), w)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -35,7 +36,7 @@ func main() {
 	}
 	workers := runtime.GOMAXPROCS(0)
 	var firstEdges []kron.Edge
-	err = gen.Stream(workers, func(worker int, e kron.Edge) error {
+	err = gen.Stream(context.Background(), workers, func(worker int, e kron.Edge) error {
 		if worker == 0 && len(firstEdges) < 5 {
 			firstEdges = append(firstEdges, e)
 		}
@@ -48,7 +49,7 @@ func main() {
 
 	// 4. Validate: regenerate, measure everything from the edges alone, and
 	// confirm exact agreement with the design.
-	report, err := kron.Validate(design, 2, workers)
+	report, err := kron.Validate(context.Background(), design, 2, workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -23,7 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := kron.Validate(design, 3, workers)
+	report, err := kron.Validate(context.Background(), design, 3, workers)
 	if err != nil {
 		log.Fatal(err)
 	}

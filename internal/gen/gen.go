@@ -126,11 +126,11 @@ const (
 	// stays cache-resident. The service's streaming hand-off defaults to
 	// this size too (kronserve -batch overrides it per server).
 	DefaultBatchSize = 2048
-	// CompatBatchSize is the internal batch the per-edge Stream/
-	// StreamContext shims run on: smaller than DefaultBatchSize so per-edge
-	// callers keep roughly the cancellation latency the old per-B-triple
-	// context check gave them, at a per-edge indirection cost batch-native
-	// consumers never pay.
+	// CompatBatchSize is the internal batch the per-edge Stream shim runs
+	// on: smaller than DefaultBatchSize so per-edge callers keep roughly
+	// the cancellation latency the old per-B-triple context check gave
+	// them, at a per-edge indirection cost batch-native consumers never
+	// pay.
 	CompatBatchSize = 512
 )
 
@@ -249,18 +249,14 @@ func (g *Generator) streamBRange(ctx context.Context, bLo, bHi, np, batchSize in
 // Each worker enumerates its slice of B triples against all of C; the
 // removed self-loop is skipped. emit is invoked concurrently from np
 // goroutines and must be safe for the worker index it receives; edges arrive
-// in deterministic per-worker order. This is the convenience per-edge view
-// of StreamBatches — rate-sensitive consumers should use StreamBatches
-// directly and skip the per-edge callback.
-func (g *Generator) Stream(np int, emit func(worker int, e Edge) error) error {
-	return g.StreamContext(context.Background(), np, emit)
-}
-
-// StreamContext is Stream with cooperative cancellation: implemented on
-// StreamBatches with an internal batch, so each worker checks the context
-// once per CompatBatchSize edges and stops with ctx.Err() once it is
-// cancelled. A non-nil error from emit cancels the remaining workers.
-func (g *Generator) StreamContext(ctx context.Context, np int, emit func(worker int, e Edge) error) error {
+// in deterministic per-worker order. Cancellation is cooperative: Stream is
+// implemented on StreamBatches with an internal batch, so each worker checks
+// ctx once per CompatBatchSize edges and stops with ctx.Err() once it is
+// cancelled. A non-nil error from emit cancels the remaining workers. This
+// is the convenience per-edge view of StreamBatches — rate-sensitive
+// consumers should use StreamBatches directly and skip the per-edge
+// callback.
+func (g *Generator) Stream(ctx context.Context, np int, emit func(worker int, e Edge) error) error {
 	return g.StreamBatches(ctx, np, CompatBatchSize, func(p int, batch []Edge) error {
 		for _, e := range batch {
 			if err := emit(p, e); err != nil {
@@ -279,9 +275,10 @@ func (g *Generator) StreamContext(ctx context.Context, np int, emit func(worker 
 // CountShard run the identical engine (countBRange), so their rates compare
 // apples-to-apples and the shard-checksum invariant — XOR of per-shard
 // checksums equals the whole-graph checksum — rests on one fold, not two
-// copies of it.
-func (g *Generator) CountEdges(np int) (total int64, checksum int64, err error) {
-	return g.countBRange(context.Background(), 0, g.b.NNZ(), np)
+// copies of it. Cancellation is checked once per B triple; a cancelled ctx
+// returns ctx.Err().
+func (g *Generator) CountEdges(ctx context.Context, np int) (total int64, checksum int64, err error) {
+	return g.countBRange(ctx, 0, g.b.NNZ(), np)
 }
 
 // countBRange enumerates the edges of B triples [bLo, bHi) × C with np

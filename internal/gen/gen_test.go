@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -51,7 +52,7 @@ func TestStreamEqualsSerialRealization(t *testing.T) {
 		for _, np := range []int{1, 2, 3, 7} {
 			var mu sync.Mutex
 			var got []sparse.Triple[int64]
-			err := g.Stream(np, func(w int, e Edge) error {
+			err := g.Stream(context.Background(), np, func(w int, e Edge) error {
 				mu.Lock()
 				got = append(got, sparse.Triple[int64]{Row: int(e.Row), Col: int(e.Col), Val: e.Val})
 				mu.Unlock()
@@ -80,7 +81,7 @@ func TestEdgeCountsMatchDesign(t *testing.T) {
 		if got, want := g.NumVertices(), d.NumVertices(); got != want.Int64() {
 			t.Errorf("%v: generator NumVertices %d, design %s", d, got, want)
 		}
-		total, _, err := g.CountEdges(4)
+		total, _, err := g.CountEdges(context.Background(), 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,11 +93,11 @@ func TestEdgeCountsMatchDesign(t *testing.T) {
 
 func TestCountEdgesChecksumStable(t *testing.T) {
 	_, g := mustGen(t, []int{3, 4, 5}, star.LoopHub, 2)
-	_, sum1, err := g.CountEdges(1)
+	_, sum1, err := g.CountEdges(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sum4, err := g.CountEdges(4)
+	_, sum4, err := g.CountEdges(context.Background(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestEqualWorkPerProcessor(t *testing.T) {
 	}
 	counts := make([]int64, 4)
 	var mu sync.Mutex
-	err := g.Stream(4, func(w int, e Edge) error {
+	err := g.Stream(context.Background(), 4, func(w int, e Edge) error {
 		mu.Lock()
 		counts[w]++
 		mu.Unlock()
@@ -140,7 +141,7 @@ func TestNoSelfLoopsEmitted(t *testing.T) {
 		loopRow, _, _ := d.LoopPosition()
 		found := false
 		var mu sync.Mutex
-		err := g.Stream(3, func(w int, e Edge) error {
+		err := g.Stream(context.Background(), 3, func(w int, e Edge) error {
 			mu.Lock()
 			if e.Row == e.Col && e.Row == int64(loopRow) {
 				found = true
@@ -220,7 +221,7 @@ func TestNoDuplicateEdgesAcrossWorkers(t *testing.T) {
 	_, g := mustGen(t, []int{3, 4, 5}, star.LoopHub, 2)
 	seen := make(map[[2]int64]int)
 	var mu sync.Mutex
-	err := g.Stream(5, func(w int, e Edge) error {
+	err := g.Stream(context.Background(), 5, func(w int, e Edge) error {
 		mu.Lock()
 		seen[[2]int64{e.Row, e.Col}]++
 		mu.Unlock()
@@ -245,7 +246,7 @@ func TestNoEmptyVertices(t *testing.T) {
 	_, g := mustGen(t, []int{3, 4, 5}, star.LoopLeaf, 2)
 	touched := make([]bool, g.NumVertices())
 	var mu sync.Mutex
-	err := g.Stream(2, func(w int, e Edge) error {
+	err := g.Stream(context.Background(), 2, func(w int, e Edge) error {
 		mu.Lock()
 		touched[e.Row] = true
 		touched[e.Col] = true
@@ -278,7 +279,7 @@ func TestSplitValidation(t *testing.T) {
 func TestStreamPropagatesEmitError(t *testing.T) {
 	_, g := mustGen(t, []int{3, 4}, star.LoopNone, 1)
 	sentinel := errors.New("downstream full")
-	err := g.Stream(2, func(w int, e Edge) error {
+	err := g.Stream(context.Background(), 2, func(w int, e Edge) error {
 		if w == 1 {
 			return sentinel
 		}

@@ -85,7 +85,7 @@ func TestShardUnionParity(t *testing.T) {
 		if int64(len(full)) != g.NumEdges() {
 			t.Fatalf("%v nb=%d: full stream emitted %d edges, want %d", d, nb, len(full), g.NumEdges())
 		}
-		wantTotal, wantChecksum, err := g.CountEdges(2)
+		wantTotal, wantChecksum, err := g.CountEdges(context.Background(), 2)
 		if err != nil {
 			t.Fatal(err)
 		}

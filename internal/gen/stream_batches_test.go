@@ -17,7 +17,7 @@ func collectPerEdge(t *testing.T, g *Generator, np int) map[Edge]int {
 	t.Helper()
 	var mu sync.Mutex
 	seen := make(map[Edge]int)
-	err := g.Stream(np, func(w int, e Edge) error {
+	err := g.Stream(context.Background(), np, func(w int, e Edge) error {
 		mu.Lock()
 		seen[e]++
 		mu.Unlock()

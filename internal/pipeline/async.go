@@ -24,7 +24,8 @@ type Batch struct {
 // buffer). The channel is the backpressure boundary: when the consumer falls
 // behind, WriteBatch blocks until a slot frees or ctx is cancelled.
 type Async struct {
-	ctx  context.Context
+	ctx  context.Context // nil means never cancelled
+	done <-chan struct{} // nil when ctx is nil: blocks forever in select
 	ch   chan *Batch
 	pool sync.Pool
 	once sync.Once
@@ -33,12 +34,13 @@ type Async struct {
 // NewAsync returns an Async sink whose channel buffers depth batches
 // (depth 0 yields an unbuffered, fully synchronous hand-off). A WriteBatch
 // blocked on a full channel aborts with ctx's error when ctx is cancelled;
-// a nil ctx means never cancelled.
+// a nil ctx means never cancelled (a receive from the nil done channel
+// blocks forever, so no substitute context is minted).
 func NewAsync(ctx context.Context, depth int) *Async {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	a := &Async{ctx: ctx, ch: make(chan *Batch, depth)}
+	if ctx != nil {
+		a.done = ctx.Done()
+	}
 	a.pool.New = func() any { return new(Batch) }
 	return a
 }
@@ -52,7 +54,7 @@ func (a *Async) WriteBatch(p int, batch []Edge) error {
 	select {
 	case a.ch <- b:
 		return nil
-	case <-a.ctx.Done():
+	case <-a.done:
 		a.pool.Put(b)
 		return a.ctx.Err()
 	}

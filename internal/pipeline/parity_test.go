@@ -89,7 +89,7 @@ func TestTeeWriterByteParity(t *testing.T) {
 		if got := cnt.Total(); got != g.NumEdges() {
 			t.Fatalf("%v nb=%d: teed counter %d, want %d", d, nb, got, g.NumEdges())
 		}
-		wantTotal, wantChecksum, err := g.CountEdges(2)
+		wantTotal, wantChecksum, err := g.CountEdges(context.Background(), 2)
 		if err != nil {
 			t.Fatal(err)
 		}

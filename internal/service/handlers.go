@@ -249,7 +249,7 @@ func (s *Service) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	j, err := s.manager.Submit(req)
+	j, err := s.manager.Submit(r.Context(), req)
 	if err != nil {
 		if errors.Is(err, ErrBusy) {
 			writeError(w, http.StatusTooManyRequests, err.Error())
@@ -393,7 +393,7 @@ func (s *Service) handleValidate(w http.ResponseWriter, r *http.Request) {
 		// that disconnects mid-validation stops the generation passes and
 		// the triangle bands instead of burning cores on an answer nobody
 		// will read. Nothing partial is cached.
-		rep, err := kron.ValidateContext(r.Context(), j.design, j.split, j.workers)
+		rep, err := kron.Validate(r.Context(), j.design, j.split, j.workers)
 		if err != nil {
 			// Only an actual cancellation error counts as "client gone": a
 			// genuine validation failure must keep its 500 + message even

@@ -383,8 +383,11 @@ func NewManager(cfg Config, metrics *Metrics) *Manager {
 // Submit validates the request against the server's admission limits,
 // registers the job, and starts its run loop. Validation is entirely
 // design-side: the closed forms bound the realization cost of both split
-// sides before any memory is committed.
-func (m *Manager) Submit(req JobRequest) (*Job, error) {
+// sides before any memory is committed. The job's own context derives its
+// values (trace identity, loggers) from ctx but not its cancellation: a job
+// outlives the submitting HTTP request and ends only via Cancel, Close, or
+// its own completion.
+func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 	d, err := req.Build()
 	if err != nil {
 		return nil, err
@@ -466,7 +469,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	}
 	m.active++
 	m.seq++
-	ctx, cancel := context.WithCancel(context.Background())
+	jctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	j := &Job{
 		id:         fmt.Sprintf("j%06d", m.seq),
 		req:        req,
@@ -476,7 +479,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		sink:       sink,
 		totalEdges: totalEdges,
 		shard:      shard,
-		ctx:        ctx,
+		ctx:        jctx,
 		cancel:     cancel,
 		state:      StatePending,
 		created:    time.Now(),
@@ -487,7 +490,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		// The job's context bounds the hand-off: a producer blocked on a
 		// full queue (consumer fell behind) aborts when the job is
 		// cancelled, exactly as the raw channel send did.
-		j.stream = pipeline.NewAsync(ctx, m.cfg.QueueDepth)
+		j.stream = pipeline.NewAsync(jctx, m.cfg.QueueDepth)
 	}
 	j.markLocked(PhaseAdmitted, fmt.Sprintf("workers=%d split=%d sink=%s", workers, split, sink))
 	if shard != nil {

@@ -95,7 +95,7 @@ func TestJobHistoryEviction(t *testing.T) {
 // not a cancellation.
 func TestFinishClassifiesWorkerErrorAsFailed(t *testing.T) {
 	m := NewManager(New(Config{}).cfg, &Metrics{})
-	j, err := m.Submit(JobRequest{
+	j, err := m.Submit(context.Background(), JobRequest{
 		DesignRequest: DesignRequest{Points: []int{3, 4}, Loop: "hub"},
 		Sink:          SinkDiscard,
 	})
@@ -121,7 +121,7 @@ func TestFinishClassifiesWorkerErrorAsFailed(t *testing.T) {
 
 	// A genuine client cancel still classifies as cancelled even though the
 	// joined errors look identical.
-	j2, err := m.Submit(JobRequest{
+	j2, err := m.Submit(context.Background(), JobRequest{
 		DesignRequest: DesignRequest{Points: []int{3, 4}, Loop: "hub"},
 		Sink:          SinkDiscard,
 	})
@@ -141,4 +141,40 @@ func TestFinishClassifiesWorkerErrorAsFailed(t *testing.T) {
 		t.Fatalf("client cancel classified as %s, want cancelled", st.State)
 	}
 	m.Close()
+}
+
+// TestSubmitSurvivesRequestCancel proves a job's lifetime is detached from
+// the submitting HTTP request: Submit derives the job context through
+// context.WithoutCancel, so cancelling the request context the moment the
+// 201 is written (what every real client does) must not kill the job.
+// Before Submit took the request context this bug was latent; when the
+// job's Async stage was first bound to it, every submitted job died with
+// "context canceled" as soon as the POST returned.
+func TestSubmitSurvivesRequestCancel(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := s.manager.Submit(ctx, JobRequest{
+		DesignRequest: DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"},
+		Workers:       2,
+		Sink:          SinkDiscard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the request ends; the job must keep running
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := j.Status()
+		if st.State.Terminal() {
+			if st.State != StateDone {
+				t.Fatalf("job after request cancel: %s (%q), want done", st.State, st.Error)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached a terminal state (now %s)", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -30,7 +31,7 @@ func BenchmarkStreamServicePooled(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		j, err := s.manager.Submit(req)
+		j, err := s.manager.Submit(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,7 +9,7 @@ import (
 
 // A client that disconnects before (or during) a validation must not leave
 // the validation burning cores: the request context rides through
-// kron.ValidateContext, the handler answers 499, and nothing is cached or
+// kron.Validate, the handler answers 499, and nothing is cached or
 // counted, so a later live request still validates cleanly.
 func TestValidateCancelledRequestStopsValidation(t *testing.T) {
 	s, ts := newTestServer(t, Config{})

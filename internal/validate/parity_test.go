@@ -36,7 +36,7 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 			t.Fatalf("%v: materialized: %v", d, err)
 		}
 		for _, np := range []int{1, 2, 4} {
-			got, err := RunContext(context.Background(), d, nb, np)
+			got, err := Run(context.Background(), d, nb, np)
 			if err != nil {
 				t.Fatalf("%v np=%d: streaming: %v", d, np, err)
 			}
@@ -59,14 +59,14 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 	}
 }
 
-func TestRunContextCancelled(t *testing.T) {
+func TestRunCancelled(t *testing.T) {
 	d, err := core.FromPoints([]int{3, 4, 5, 9}, star.LoopHub)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := RunContext(ctx, d, 2, 4); !errors.Is(err, context.Canceled) {
+	if _, err := Run(ctx, d, 2, 4); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -91,15 +91,10 @@ const maxRealizableVertices = 1 << 31
 
 // Run generates the design with np workers via the split generator (split
 // after nb factors), measures everything from the streamed edges, and
-// compares against the design's predictions.
-func Run(d *core.Design, nb, np int) (*Report, error) {
-	return RunContext(context.Background(), d, nb, np)
-}
-
-// RunContext is Run with cooperative cancellation: generation passes stop
-// within one batch and triangle counting within one band stride of ctx
-// cancelling, returning ctx's error.
-func RunContext(ctx context.Context, d *core.Design, nb, np int) (*Report, error) {
+// compares against the design's predictions. Cancellation is cooperative:
+// generation passes stop within one batch and triangle counting within one
+// band stride of ctx cancelling, returning ctx's error.
+func Run(ctx context.Context, d *core.Design, nb, np int) (*Report, error) {
 	pred, g, r, err := prepare(d, nb, np)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestExactAgreement(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := Run(d, tc.nb, tc.np)
+		r, err := Run(context.Background(), d, tc.nb, tc.np)
 		if err != nil {
 			t.Fatalf("%v: %v", d, err)
 		}
@@ -46,7 +47,7 @@ func TestReportString(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Run(d, 1, 2)
+	r, err := Run(context.Background(), d, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestMismatchDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Run(d, 1, 1)
+	r, err := Run(context.Background(), d, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRejectsUnrealizableDesign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(d, 8, 2); err == nil {
+	if _, err := Run(context.Background(), d, 8, 2); err == nil {
 		t.Error("decetta-scale design accepted for realization")
 	}
 }

@@ -1,6 +1,7 @@
 package kron_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func ExampleNewGenerator() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	total, _, err := g.CountEdges(4)
+	total, _, err := g.CountEdges(context.Background(), 4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func ExampleValidate() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := kron.Validate(d, 1, 2)
+	r, err := kron.Validate(context.Background(), d, 1, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@
 //  3. Validate: measure a generated graph and confirm exact agreement with
 //     the design.
 //
-//     r, _ := kron.Validate(d, 2, 8)
+//     r, _ := kron.Validate(ctx, d, 2, 8)
 //     fmt.Println(r.ExactAgreement) // true
 //
 // An R-MAT (Graph500) stochastic generator is included as the baseline the
@@ -92,8 +92,8 @@ const DefaultStreamBatchSize = gen.DefaultBatchSize
 // NewGenerator splits the design after its first nb factors into A = B ⊗ C
 // and realizes both sides, ready to generate at any worker count. The
 // returned Generator's hot path is StreamBatches (cancellable, batch-native
-// — edges arrive in reusable per-worker []Edge batches); Stream and
-// StreamContext are per-edge conveniences layered on top of it.
+// — edges arrive in reusable per-worker []Edge batches); Stream is a
+// per-edge convenience layered on top of it.
 func NewGenerator(d *Design, nb int) (*Generator, error) { return gen.New(d, nb) }
 
 // DefaultMaxCNNZ is the default bound on the C side's stored entries when a
@@ -130,17 +130,12 @@ const MaxValidationEdges = validate.MaxRealizableEdges
 // realized edges, and reports whether everything agrees exactly. The
 // measurement is streaming: per-worker in-flight tallies merge into the
 // degree distribution, and triangles are counted on a CSR the workers build
-// in parallel — edges are never collected into one sorted list.
-func Validate(d *Design, nb, np int) (*ValidationReport, error) {
-	return validate.Run(d, nb, np)
-}
-
-// ValidateContext is Validate with cooperative cancellation: generation
-// stops within one batch and triangle counting within one band stride of
-// ctx cancelling. Services should pass their request context so abandoned
-// validations release their cores.
-func ValidateContext(ctx context.Context, d *Design, nb, np int) (*ValidationReport, error) {
-	return validate.RunContext(ctx, d, nb, np)
+// in parallel — edges are never collected into one sorted list. Cancellation
+// is cooperative: generation stops within one batch and triangle counting
+// within one band stride of ctx cancelling. Services should pass their
+// request context so abandoned validations release their cores.
+func Validate(ctx context.Context, d *Design, nb, np int) (*ValidationReport, error) {
+	return validate.Run(ctx, d, nb, np)
 }
 
 // RMATParams parameterizes the baseline Graph500 stochastic Kronecker

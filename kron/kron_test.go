@@ -1,6 +1,7 @@
 package kron_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/kron"
@@ -28,7 +29,7 @@ func TestPublicWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	total, _, err := g.CountEdges(4)
+	total, _, err := g.CountEdges(context.Background(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestPublicWorkflow(t *testing.T) {
 		t.Errorf("generated %d edges, want 692", total)
 	}
 
-	r, err := kron.Validate(d, 2, 4)
+	r, err := kron.Validate(context.Background(), d, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -109,7 +109,7 @@ func StageMetricsTo(w io.Writer, prefix string) error {
 }
 
 // CompatStreamBatchSize is the internal batch size the per-edge
-// Stream/StreamContext conveniences run on. It trades against
+// Stream convenience runs on. It trades against
 // DefaultStreamBatchSize on one axis: the generator checks its context once
 // per batch, so the smaller batch keeps per-edge callers' cancellation
 // latency near the historical per-B-triple check while batch-native

@@ -1,6 +1,9 @@
 package kron
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestBalancedSplitPoint(t *testing.T) {
 	// Paper's trillion-edge factors: suffix nnz shrinks as nb grows.
@@ -68,7 +71,7 @@ func TestMaxValidationEdgesGuard(t *testing.T) {
 	if d.NumEdges().Int64() <= MaxValidationEdges {
 		t.Fatalf("test design unexpectedly under MaxValidationEdges=%d", int64(MaxValidationEdges))
 	}
-	if _, err := Validate(d, 6, 2); err == nil {
+	if _, err := Validate(context.Background(), d, 6, 2); err == nil {
 		t.Fatal("Validate accepted a design over MaxValidationEdges")
 	}
 }

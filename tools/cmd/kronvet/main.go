@@ -1,0 +1,20 @@
+// Command kronvet is the vettool entry point for the kronvet analyzer
+// suite. Build it once and hand it to go vet:
+//
+//	go build -o bin/kronvet ./tools/cmd/kronvet   (from the tools module)
+//	go vet -vettool=bin/kronvet ./...             (from the repo root)
+//
+// It speaks the unitchecker protocol, so go vet drives it package by package
+// with full type information and caching, exactly like the builtin vet
+// analyzers.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/tools/kronvet"
+)
+
+func main() {
+	unitchecker.Main(kronvet.Analyzers()...)
+}

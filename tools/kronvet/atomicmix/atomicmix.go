@@ -1,0 +1,156 @@
+// Package atomicmix defines an analyzer enforcing all-or-nothing atomicity
+// on struct fields: a field passed by address to any sync/atomic function
+// (atomic.AddInt64(&x.f, 1), atomic.LoadUint64(&x.f), ...) must never be
+// read or written non-atomically anywhere else in the package — a single
+// plain access silently breaks the whole discipline under the race detector
+// and on weakly ordered hardware.
+//
+// Typed atomics (atomic.Int64 and friends, the house style in internal/obs)
+// cannot be mixed by construction; this analyzer exists so any raw
+// sync/atomic call that sneaks in is held to the same standard.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicmix",
+	Doc:      "report non-atomic accesses of struct fields that are elsewhere accessed via sync/atomic functions",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: collect the fields whose addresses reach sync/atomic calls.
+	atomicFields := make(map[*types.Var]string) // field -> atomic func name
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		name, ok := atomicCallee(pass, call)
+		if !ok {
+			return
+		}
+		for _, arg := range call.Args {
+			if f := addressedField(pass, arg); f != nil {
+				if _, seen := atomicFields[f]; !seen {
+					atomicFields[f] = name
+				}
+			}
+		}
+	})
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: flag every other selection of those fields that is not itself
+	// the &x.f argument of a sync/atomic call.
+	ins.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		sel := n.(*ast.SelectorExpr)
+		f := fieldOf(pass, sel)
+		if f == nil {
+			return true
+		}
+		fn, isAtomic := atomicFields[f]
+		if !isAtomic {
+			return true
+		}
+		if inAtomicArg(pass, stack) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "non-atomic access of field %s, which is accessed atomically elsewhere (%s); use sync/atomic for every access or switch the field to a typed atomic", f.Name(), fn)
+		return true
+	})
+	return nil, nil
+}
+
+// atomicCallee returns the function name when call invokes a sync/atomic
+// package-level function.
+func atomicCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	// Package-level functions only: typed-atomic methods have receivers and
+	// cannot be mixed in the first place.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	return "atomic." + fn.Name(), true
+}
+
+// addressedField returns the struct field object when arg is &expr.f.
+func addressedField(pass *analysis.Pass, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldOf(pass, sel)
+}
+
+// fieldOf resolves sel to a struct field variable, normalized across
+// instantiations via Origin so generic containers dedupe.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var).Origin()
+}
+
+// inAtomicArg reports whether the selector at the top of stack is the
+// addressed argument of a sync/atomic call: CallExpr → UnaryExpr(&) → sel.
+func inAtomicArg(pass *analysis.Pass, stack []ast.Node) bool {
+	// stack[len-1] is the SelectorExpr; allow parens on the way up.
+	i := len(stack) - 2
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	u, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	i--
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, isAtomic := atomicCallee(pass, call)
+	return isAtomic
+}

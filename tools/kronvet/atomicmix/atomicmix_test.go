@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/tools/kronvet/atomicmix"
+	"repro/tools/kronvet/internal/vettest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), atomicmix.Analyzer, "a", "clean")
+}

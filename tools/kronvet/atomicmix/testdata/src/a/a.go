@@ -1,0 +1,42 @@
+// Fixture a: fields accessed both through sync/atomic and plainly.
+package a
+
+import "sync/atomic"
+
+type Counter struct {
+	n     int64
+	other int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *Counter) Bad() int64 {
+	return c.n // want `non-atomic access of field n`
+}
+
+func (c *Counter) AlsoBad() {
+	c.n = 0 // want `non-atomic access of field n`
+}
+
+func (c *Counter) Fine() int64 {
+	c.other++ // never touched atomically: fine
+	return c.other
+}
+
+type Mixed struct {
+	hits uint64
+}
+
+func Observe(m *Mixed) {
+	atomic.AddUint64(&m.hits, 1)
+}
+
+func Snapshot(m *Mixed) uint64 {
+	return m.hits // want `non-atomic access of field hits`
+}

@@ -1,0 +1,48 @@
+// Fixture clean: the house styles — typed atomics everywhere, or unshared
+// padded per-worker slots with no atomics at all.
+package clean
+
+import "sync/atomic"
+
+// Stage mirrors internal/obs: typed atomics cannot be accessed
+// non-atomically, so mixing is impossible by construction.
+type Stage struct {
+	Edges   atomic.Int64
+	Batches atomic.Int64
+}
+
+func (s *Stage) Observe(n int) {
+	s.Edges.Add(int64(n))
+	s.Batches.Add(1)
+}
+
+func (s *Stage) Snapshot() (int64, int64) {
+	return s.Edges.Load(), s.Batches.Load()
+}
+
+// counter mirrors pipeline.Counter: per-worker padded slots, written without
+// synchronization by design and only folded after the stream ends.
+type paddedInt64 struct {
+	n int64
+	_ [56]byte
+}
+
+type counter struct {
+	slots []paddedInt64
+}
+
+func (c *counter) add(p, n int) {
+	c.slots[p].n += int64(n)
+}
+
+func (c *counter) total() int64 {
+	var n int64
+	for i := range c.slots {
+		n += c.slots[i].n
+	}
+	return n
+}
+
+// Constructor composite literals never mix: keys are field names, not
+// selector accesses.
+func NewStage() *Stage { return &Stage{} }

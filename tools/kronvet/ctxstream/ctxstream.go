@@ -1,0 +1,157 @@
+// Package ctxstream defines an analyzer enforcing the context discipline of
+// the streaming stack:
+//
+//  1. context.Background() and context.TODO() are banned outside package main
+//     and _test.go files. Library code must thread the caller's context; a
+//     Background() buried in a library severs cancellation for every
+//     streaming loop above it. (A nil context meaning "never cancelled" is
+//     the house convention for opting out explicitly.)
+//  2. In the streaming packages (gen, validate, service, kron, pipeline), an
+//     exported function or method that accepts a Sink or an emit callback —
+//     i.e. a streaming entry point that will drive a potentially long
+//     per-batch loop — must take a context.Context as its first parameter.
+package ctxstream
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the ctxstream analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxstream",
+	Doc:      "enforce context threading in streaming APIs: ban context.Background/TODO outside main and tests, and require ctx on exported streaming entry points",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// streamingPkgs are the import-path tails whose exported streaming entry
+// points must thread a context.
+var streamingPkgs = map[string]bool{
+	"gen":      true,
+	"validate": true,
+	"service":  true,
+	"kron":     true,
+	"pipeline": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Check 1: no context.Background()/TODO() in library code.
+	isMain := pass.Pkg.Name() == "main"
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return
+		}
+		if name := fn.Name(); name != "Background" && name != "TODO" {
+			return
+		}
+		if isMain || inTestFile(pass, call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(), "context.%s() in library code severs cancellation; thread the caller's context (or accept a nil Context to mean never-cancelled)", fn.Name())
+	})
+
+	// Check 2: exported streaming entry points in the streaming packages
+	// take ctx first.
+	if streamingPkgs[pathTail(pass.Pkg.Path())] {
+		ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+			fd := n.(*ast.FuncDecl)
+			if !fd.Name.IsExported() || inTestFile(pass, fd.Pos()) {
+				return
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			sig := fn.Type().(*types.Signature)
+			if !hasStreamingParam(sig) || hasContextFirst(sig) {
+				return
+			}
+			// Combinators (Tee, KeepOpen, Instrument) accept sinks but return
+			// one instead of driving a loop; only actual drivers need ctx.
+			if returnsSink(sig) {
+				return
+			}
+			pass.Reportf(fd.Name.Pos(), "exported streaming entry point %s drives a per-batch loop but does not take a context.Context as its first parameter", fd.Name.Name)
+		})
+	}
+	return nil, nil
+}
+
+func pathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// hasStreamingParam reports whether sig accepts a Sink (a named interface
+// called Sink) or an emit callback (func(int, T) error / func(int, []T)
+// error), the two shapes every streaming driver in the tree uses.
+func hasStreamingParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isSinkInterface(t) || isEmitFunc(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSinkInterface(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Name() != "Sink" {
+		return false
+	}
+	_, ok = n.Underlying().(*types.Interface)
+	return ok
+}
+
+func isEmitFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	if b, ok := sig.Params().At(0).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	return types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}
+
+func returnsSink(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isSinkInterface(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasContextFirst(sig *types.Signature) bool {
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	n, ok := types.Unalias(sig.Params().At(0).Type()).(*types.Named)
+	return ok && n.Obj().Name() == "Context" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}

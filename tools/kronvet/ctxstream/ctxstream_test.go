@@ -1,0 +1,12 @@
+package ctxstream_test
+
+import (
+	"testing"
+
+	"repro/tools/kronvet/ctxstream"
+	"repro/tools/kronvet/internal/vettest"
+)
+
+func TestCtxStream(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), ctxstream.Analyzer, "gen", "cmd", "other")
+}

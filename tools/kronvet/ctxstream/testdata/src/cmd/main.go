@@ -1,0 +1,10 @@
+// Fixture cmd: package main is the composition root — Background is the
+// correct way to mint the root context here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

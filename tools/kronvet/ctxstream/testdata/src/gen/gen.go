@@ -1,0 +1,54 @@
+// Fixture gen: a streaming package (import-path tail "gen") — exported
+// drivers must take ctx first, and context.Background/TODO are banned.
+package gen
+
+import "context"
+
+type Edge struct{ Row, Col int64 }
+
+type Sink interface {
+	WriteBatch(p int, batch []Edge) error
+	Close() error
+}
+
+// StreamTo threads ctx: clean.
+func StreamTo(ctx context.Context, np int, sink Sink) error {
+	return nil
+}
+
+// StreamBatches threads ctx to an emit callback: clean.
+func StreamBatches(ctx context.Context, np int, emit func(p int, batch []Edge) error) error {
+	return nil
+}
+
+// Stream drives an emit loop without a ctx parameter and severs
+// cancellation with Background: both checks fire.
+func Stream(np int, emit func(p int, batch []Edge) error) error { // want `exported streaming entry point Stream`
+	return stream(context.Background(), np, emit) // want `context\.Background\(\) in library code`
+}
+
+func stream(ctx context.Context, np int, emit func(p int, batch []Edge) error) error {
+	return nil
+}
+
+// CountEdges has no sink or emit parameter, so the signature check does not
+// apply — but a buried TODO is still banned.
+func CountEdges(np int) int64 {
+	ctx := context.TODO() // want `context\.TODO\(\) in library code`
+	_ = ctx
+	return 0
+}
+
+// Tee is a combinator: it accepts sinks but returns one instead of driving
+// a loop, so no ctx is required.
+func Tee(sinks ...Sink) Sink {
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
+	return nil
+}
+
+// drive is unexported: the signature check applies to the public API only.
+func drive(np int, sink Sink) error {
+	return nil
+}

@@ -1,0 +1,8 @@
+package gen
+
+import "context"
+
+// Tests may use Background freely.
+func helperForTest() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,22 @@
+// Fixture other: not a streaming package (tail "other") — the exported-API
+// signature check does not apply, but Background/TODO are still banned in
+// library code.
+package other
+
+import "context"
+
+type Edge struct{ Row, Col int64 }
+
+type Sink interface {
+	WriteBatch(p int, batch []Edge) error
+	Close() error
+}
+
+// Drive takes a Sink without ctx: allowed outside the streaming packages.
+func Drive(s Sink) error {
+	return nil
+}
+
+func Helper() context.Context {
+	return context.Background() // want `context\.Background\(\) in library code`
+}

@@ -1,0 +1,297 @@
+// Package vettest is a self-contained analysistest replacement: it loads
+// GOPATH-layout fixture packages from an analyzer's testdata/src directory,
+// type-checks them against the standard library, runs the analyzer (and its
+// Requires closure), and compares the reported diagnostics against
+// "// want `regexp`" comments in the fixtures.
+//
+// golang.org/x/tools/go/analysis/analysistest depends on go/packages, which
+// the Go distribution does not vendor; this driver uses only go/parser,
+// go/types, and go/importer, so the kronvet suite builds and tests offline
+// from the toolchain's own vendored copy of go/analysis.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each named package from testdata/src/<path>, runs the analyzer
+// over it, and checks the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		fset: token.NewFileSet(),
+		src:  filepath.Join(testdata, "src"),
+		pkgs: make(map[string]*fixturePkg),
+		std:  importer.Default(),
+	}
+	for _, path := range pkgPaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		diags, err := runAnalyzer(a, l.fset, p)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, l.fset, p, diags)
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader resolves fixture imports from testdata/src first and falls back to
+// the compiler's export data for the standard library.
+type loader struct {
+	fset *token.FileSet
+	src  string
+	pkgs map[string]*fixturePkg
+	std  types.Importer
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+	dir := filepath.Join(l.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if st, err := os.Stat(filepath.Join(l.src, ipath)); err == nil && st.IsDir() {
+			p, err := l.load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return p.pkg, nil
+		}
+		return l.std.Import(ipath)
+	})}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runAnalyzer executes a's Requires closure and then a itself, returning
+// only a's diagnostics.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, p *fixturePkg) ([]analysis.Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]any)
+	var diags []analysis.Diagnostic
+	var exec func(an *analysis.Analyzer) error
+	exec = func(an *analysis.Analyzer) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		for _, dep := range an.Requires {
+			if err := exec(dep); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      p.files,
+			Pkg:        p.pkg,
+			TypesInfo:  p.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if an == a {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := exec(a); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkWants compares diagnostics against the fixtures' want comments:
+// every diagnostic must match a want on its line, and every want must be
+// matched by some diagnostic.
+func checkWants(t *testing.T, fset *token.FileSet, p *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, w := range parseWants(fset, c) {
+					wants = append(wants, w)
+				}
+			}
+		}
+	}
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", filepath.Base(file), line) }
+	byLine := make(map[string][]*want)
+	for _, w := range wants {
+		k := key(w.file, w.line)
+		byLine[k] = append(byLine[k], w)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key(pos.Filename, pos.Line)
+		matched := false
+		for _, w := range byLine[k] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts `// want "rx" "rx"...` expectations from one comment.
+// Both interpreted and raw (backquoted) Go string literals are accepted.
+func parseWants(fset *token.FileSet, c *ast.Comment) []*want {
+	text := c.Text
+	i := strings.Index(text, "want ")
+	if i < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(text[i+len("want "):])
+	pos := fset.Position(c.Pos())
+	var out []*want
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return out
+			}
+			lit = rest[:end+1]
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				return out
+			}
+			lit = rest[:end+2]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return out
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			continue
+		}
+		rx, err := regexp.Compile(s)
+		if err != nil {
+			continue
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: s})
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package recycleuse defines an analyzer enforcing the Async.Recycle
+// contract: once a consumer hands a *pipeline.Batch back via Recycle(b), the
+// Batch and its Edges belong to the pool again and must not be touched until
+// the variable is reassigned (typically by the next loop iteration's
+// receive).
+//
+// The analyzer finds every statement-level call whose method is named Recycle
+// with a single identifier argument of type *Batch, then scans the statements
+// that follow it in the same block for any further use of that identifier. A
+// reassignment of the variable (x = ..., x := ..., or a range re-bind) ends
+// the scan: the name now refers to a fresh batch.
+package recycleuse
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the recycleuse analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "recycleuse",
+	Doc:      "report uses of a *pipeline.Batch after Recycle(b) returned it to the pool, before any reassignment",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.BlockStmt)(nil)}, func(n ast.Node) {
+		block := n.(*ast.BlockStmt)
+		for i, st := range block.List {
+			obj := recycledArg(pass, st)
+			if obj == nil {
+				continue
+			}
+			scanAfter(pass, block.List[i+1:], obj)
+		}
+	})
+	return nil, nil
+}
+
+// recycledArg returns the object of b when st is a statement-level
+// call x.Recycle(b) (or Recycle(b)) with b an identifier of type *Batch.
+func recycledArg(pass *analysis.Pass, st ast.Stmt) types.Object {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	case *ast.Ident:
+		name = fn.Name
+	default:
+		return nil
+	}
+	if name != "Recycle" {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !isBatchPtr(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// isBatchPtr reports whether t is a pointer to a named struct called Batch.
+func isBatchPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok || n.Obj().Name() != "Batch" {
+		return false
+	}
+	_, ok = n.Underlying().(*types.Struct)
+	return ok
+}
+
+// scanAfter walks the statements following the Recycle call, reporting the
+// first use of obj and stopping once obj is reassigned.
+func scanAfter(pass *analysis.Pass, stmts []ast.Stmt, obj types.Object) {
+	for _, st := range stmts {
+		if reassigns(pass, st, obj) {
+			return
+		}
+		var done bool
+		ast.Inspect(st, func(n ast.Node) bool {
+			if done {
+				return false
+			}
+			// A nested reassignment also revives the name for the rest of
+			// that construct; stop scanning conservatively (path-insensitive).
+			if s, ok := n.(ast.Stmt); ok && reassigns(pass, s, obj) {
+				done = true
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			pass.Reportf(id.Pos(), "use of %s after Recycle(%s): the batch is back in the pool and may be overwritten by a concurrent WriteBatch", id.Name, id.Name)
+			done = true
+			return false
+		})
+		if done {
+			return
+		}
+	}
+}
+
+// reassigns reports whether st rebinds obj to a new value: an assignment
+// with obj on the left, or a range statement using obj as key or value.
+func reassigns(pass *analysis.Pass, st ast.Stmt, obj types.Object) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package recycleuse_test
+
+import (
+	"testing"
+
+	"repro/tools/kronvet/internal/vettest"
+	"repro/tools/kronvet/recycleuse"
+)
+
+func TestRecycleUse(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), recycleuse.Analyzer, "a", "clean")
+}

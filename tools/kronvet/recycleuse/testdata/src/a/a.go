@@ -1,0 +1,36 @@
+// Fixture a: uses of a *Batch after Recycle returned it to the pool.
+package a
+
+type Edge struct{ Row, Col int64 }
+
+// Batch mirrors pipeline.Batch.
+type Batch struct{ Edges []Edge }
+
+// Pool mirrors the Async/Job Recycle surface.
+type Pool struct{ free chan *Batch }
+
+func (p *Pool) Recycle(b *Batch) { p.free <- b }
+
+func UseAfter(p *Pool, ch chan *Batch) int64 {
+	var n int64
+	for b := range ch {
+		n += int64(len(b.Edges))
+		p.Recycle(b)
+		n += int64(cap(b.Edges)) // want `use of b after Recycle\(b\)`
+	}
+	return n
+}
+
+func UseInNested(p *Pool, ch chan *Batch, cond bool) {
+	b := <-ch
+	p.Recycle(b)
+	if cond {
+		println(len(b.Edges)) // want `use of b after Recycle\(b\)`
+	}
+}
+
+func PassAfter(p *Pool, ch chan *Batch, f func(*Batch)) {
+	b := <-ch
+	p.Recycle(b)
+	f(b) // want `use of b after Recycle\(b\)`
+}

@@ -1,0 +1,43 @@
+// Fixture clean: the real consumer shapes — use the batch, recycle last, or
+// recycle and reassign before the next use.
+package clean
+
+type Edge struct{ Row, Col int64 }
+
+type Batch struct{ Edges []Edge }
+
+type Pool struct{ free chan *Batch }
+
+func (p *Pool) Recycle(b *Batch) { p.free <- b }
+
+// Drain mirrors service/stream.go: capture what you need, recycle, then act
+// on the captured value only.
+func Drain(p *Pool, ch chan *Batch, write func([]Edge) error) error {
+	for b := range ch {
+		err := write(b.Edges)
+		p.Recycle(b)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecycleLast recycles as the final statement of each iteration.
+func RecycleLast(p *Pool, ch chan *Batch) int64 {
+	var n int64
+	for b := range ch {
+		n += int64(len(b.Edges))
+		p.Recycle(b)
+	}
+	return n
+}
+
+// Reassign revives the name with a fresh batch before the next use.
+func Reassign(p *Pool, ch chan *Batch) {
+	b := <-ch
+	p.Recycle(b)
+	b = <-ch
+	_ = b.Edges
+	p.Recycle(b)
+}

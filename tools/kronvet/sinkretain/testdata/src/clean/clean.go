@@ -1,0 +1,158 @@
+// Fixture clean: the real composition shapes from internal/pipeline —
+// Tee delegation, Instrument count-then-delegate, Async's pooled copy,
+// Counter/Checksum folds, and a mutex-serialized writer. None of these may
+// be flagged.
+package clean
+
+import "sync"
+
+type Edge struct{ Row, Col int64 }
+
+type Sink interface {
+	WriteBatch(p int, batch []Edge) error
+	Close() error
+}
+
+// tee mirrors pipeline.Tee: hand the batch to every child in order.
+type tee []Sink
+
+func (t tee) WriteBatch(p int, batch []Edge) error {
+	for _, s := range t {
+		if err := s.WriteBatch(p, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t tee) Close() error { return nil }
+
+// instrument mirrors obs-style instrumentation: read len, then delegate.
+type instrument struct {
+	next  Sink
+	edges int64
+}
+
+func (i *instrument) WriteBatch(p int, batch []Edge) error {
+	i.edges += int64(len(batch))
+	return i.next.WriteBatch(p, batch)
+}
+
+func (i *instrument) Close() error { return i.next.Close() }
+
+// Batch mirrors pipeline.Batch.
+type Batch struct{ Edges []Edge }
+
+// async mirrors pipeline.Async: copy into a pooled buffer (spread append is
+// an element-wise copy), then send the pooled buffer — never the batch.
+type async struct {
+	ch   chan *Batch
+	pool sync.Pool
+}
+
+func (a *async) WriteBatch(p int, batch []Edge) error {
+	b := a.pool.Get().(*Batch)
+	b.Edges = append(b.Edges[:0], batch...)
+	a.ch <- b
+	return nil
+}
+
+func (a *async) Close() error {
+	close(a.ch)
+	return nil
+}
+
+// counter mirrors pipeline.Counter: fold the length per worker.
+type counter struct {
+	slots []int64
+}
+
+func (c *counter) WriteBatch(p int, batch []Edge) error {
+	c.slots[p] += int64(len(batch))
+	return nil
+}
+
+func (c *counter) Close() error { return nil }
+
+// checksum mirrors pipeline.Checksum: range over the batch, fold values.
+type checksum struct {
+	slots []int64
+}
+
+func (c *checksum) WriteBatch(p int, batch []Edge) error {
+	s := c.slots[p]
+	for _, e := range batch {
+		s ^= e.Row*31 + e.Col
+	}
+	c.slots[p] = s
+	return nil
+}
+
+func (c *checksum) Close() error { return nil }
+
+// writer mirrors pipeline.Writer: serialize and delegate the encode.
+type encoder interface {
+	WriteEdges(edges []Edge) error
+}
+
+type writer struct {
+	mu  sync.Mutex
+	enc encoder
+}
+
+func (w *writer) WriteBatch(p int, batch []Edge) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.WriteEdges(batch)
+}
+
+func (w *writer) Close() error { return nil }
+
+// copySink retains edge values, not the slice: spread append copies.
+type copySink struct {
+	all []Edge
+}
+
+func (s *copySink) WriteBatch(p int, batch []Edge) error {
+	s.all = append(s.all, batch...)
+	return nil
+}
+
+func (s *copySink) Close() error { return nil }
+
+// elemSink reads an element by value — a copy, not an alias.
+type elemSink struct {
+	last Edge
+}
+
+func (s *elemSink) WriteBatch(p int, batch []Edge) error {
+	if len(batch) > 0 {
+		s.last = batch[len(batch)-1]
+	}
+	return nil
+}
+
+func (s *elemSink) Close() error { return nil }
+
+// emit-callback literal doing an element-wise copy: the test-helper shape.
+func streamBatches(np int, emit func(p int, batch []Edge) error) error {
+	buf := make([]Edge, 4)
+	for p := 0; p < np; p++ {
+		if err := emit(p, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func CollectEdges(np int) ([]Edge, error) {
+	var got []Edge
+	var mu sync.Mutex
+	err := streamBatches(np, func(p int, batch []Edge) error {
+		mu.Lock()
+		got = append(got, batch...)
+		mu.Unlock()
+		return nil
+	})
+	return got, err
+}
