@@ -13,17 +13,22 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/gen"
+	"repro/internal/graphio"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
@@ -382,6 +387,55 @@ func fig3(maxWorkers int) error {
 	recordBench("shardSpeedup", summed/fullRate)
 	recordBench("shardPlanCostEdgesPerSec", planRep.AggregateRate)
 
+	// Wire formats: encoder throughput over a real band-ordered prefix of
+	// this workload's stream — the component cost of putting edges on the
+	// wire, measured against the count-only full-process rate (the
+	// stream-to-wire gap). TSV runs against its retired strconv encoder to
+	// isolate the two-digit-LUT formatter; the binary encodings are the KRNB
+	// format's compact (delta-varint) and memory-speed (fixed-width, batches
+	// written as single copies) payloads.
+	sample, err := sampleEdges(g, 1<<20)
+	if err != nil {
+		return err
+	}
+	tsvStrconvRate, err := benchWire(sample, func() (graphio.EdgeWriter, error) {
+		return newStrconvTSVWriter(io.Discard), nil
+	})
+	if err != nil {
+		return err
+	}
+	tsvRate, err := benchWire(sample, func() (graphio.EdgeWriter, error) {
+		return kron.NewTSVEdgeWriter(io.Discard), nil
+	})
+	if err != nil {
+		return err
+	}
+	binDeltaRate, err := benchWire(sample, func() (graphio.EdgeWriter, error) {
+		return kron.NewBinaryEdgeWriter(io.Discard, -1, kron.BinaryDelta)
+	})
+	if err != nil {
+		return err
+	}
+	binFixedRate, err := benchWire(sample, func() (graphio.EdgeWriter, error) {
+		return kron.NewBinaryEdgeWriter(io.Discard, -1, kron.BinaryFixed)
+	})
+	if err != nil {
+		return err
+	}
+	wireToCount := fullRate / binFixedRate
+	fmt.Printf("\nwire-format encoder throughput (%d-edge band-ordered sample):\n", len(sample))
+	fmt.Printf("%-14s %-14s\n", "format", "edges/s")
+	fmt.Printf("%-14s %-14.3e (strconv baseline)\n", "tsv/strconv", tsvStrconvRate)
+	fmt.Printf("%-14s %-14.3e (%.2fx strconv)\n", "tsv", tsvRate, tsvRate/tsvStrconvRate)
+	fmt.Printf("%-14s %-14.3e\n", "bin/delta", binDeltaRate)
+	fmt.Printf("%-14s %-14.3e (count-only rate / wire rate = %.2f)\n", "bin/fixed", binFixedRate, wireToCount)
+	recordBench("tsvStrconvWireEdgesPerSec", tsvStrconvRate)
+	recordBench("tsvWireEdgesPerSec", tsvRate)
+	recordBench("tsvLUTSpeedup", tsvRate/tsvStrconvRate)
+	recordBench("binDeltaWireEdgesPerSec", binDeltaRate)
+	recordBench("binWireEdgesPerSec", binFixedRate)
+	recordBench("wireToCountRatio", wireToCount)
+
 	// Full-machine simulation of the paper's actual trillion-edge workload
 	// (B = {3,4,5,9,16,25}: 13,824,000 triples; C = {81,256}: 82,944),
 	// using the measured per-core rate and per-triple load balancing.
@@ -399,6 +453,101 @@ func fig3(maxWorkers int) error {
 	}
 	return nil
 }
+
+// errSampleFull stops the sampling pass once enough edges are collected; it
+// is success, not failure.
+var errSampleFull = errors.New("sample full")
+
+// sampleEdges materializes the first n edges of a single-worker generation
+// pass — a real band-ordered prefix of the stream the wire encoders carry.
+func sampleEdges(g *gen.Generator, n int) ([]gen.Edge, error) {
+	sample := make([]gen.Edge, 0, n)
+	err := g.StreamTo(context.Background(), 1, 0, pipeline.Func(func(p int, batch []gen.Edge) error {
+		take := min(len(batch), n-len(sample))
+		sample = append(sample, batch[:take]...)
+		if len(sample) == n {
+			return errSampleFull
+		}
+		return nil
+	}))
+	if err != nil && !errors.Is(err, errSampleFull) {
+		return nil, err
+	}
+	return sample, nil
+}
+
+// benchWire measures an edge writer's steady-state batch encode throughput:
+// the sample is re-encoded until enough wall clock has elapsed, after one
+// unmeasured warm-up pass that grows the writer's internal buffers.
+func benchWire(sample []gen.Edge, newWriter func() (graphio.EdgeWriter, error)) (float64, error) {
+	const minDur = 300 * time.Millisecond
+	w, err := newWriter()
+	if err != nil {
+		return 0, err
+	}
+	if err := w.WriteEdges(sample); err != nil {
+		return 0, err
+	}
+	var n int64
+	start := time.Now()
+	for time.Since(start) < minDur {
+		if err := w.WriteEdges(sample); err != nil {
+			return 0, err
+		}
+		n += int64(len(sample))
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}
+
+// strconvTSVWriter is the retired strconv.AppendInt TSV encoder, kept
+// verbatim as the baseline the LUT formatter's speedup is measured against.
+type strconvTSVWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+func newStrconvTSVWriter(w io.Writer) *strconvTSVWriter {
+	return &strconvTSVWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, 64)}
+}
+
+func (t *strconvTSVWriter) WriteEdge(row, col, val int64) error {
+	return t.WriteEdges([]gen.Edge{{Row: row, Col: col, Val: val}})
+}
+
+func (t *strconvTSVWriter) WriteEdges(batch []gen.Edge) error {
+	const chunk = 1 << 14
+	b := t.buf[:0]
+	for _, e := range batch {
+		b = strconv.AppendInt(b, e.Row, 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, e.Col, 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, e.Val, 10)
+		b = append(b, '\n')
+		if len(b) >= chunk {
+			if _, err := t.bw.Write(b); err != nil {
+				return err
+			}
+			b = b[:0]
+		}
+	}
+	t.buf = b[:0]
+	if len(b) == 0 {
+		return nil
+	}
+	_, err := t.bw.Write(b)
+	return err
+}
+
+func (t *strconvTSVWriter) Comment(text string) error {
+	_, err := fmt.Fprintf(t.bw, "# %s\n", text)
+	return err
+}
+
+func (t *strconvTSVWriter) Flush() error { return t.bw.Flush() }
 
 // fig4 reproduces Figure 4: the trillion-edge hub-loop design's exact
 // properties, plus an exact predicted-vs-measured validation on a reduced

@@ -1,12 +1,15 @@
 // Command krongen generates a designed Kronecker graph in parallel with no
 // inter-worker communication (Section V) and either reports the generation
-// rate, streams one TSV chunk per worker through the batch-native path, or
+// rate, streams one edge chunk per worker through the batch-native path
+// (TSV by default; -format bin/binfixed for the KRNB binary wire format,
+// whose trailer carries the chunk's edge count and XOR checksum), or
 // materializes one edge-list chunk per worker.
 //
 // Usage:
 //
 //	krongen -mhat 3,4,5,9,16 -loop hub -split 3 -workers 4 -count
 //	krongen -mhat 3,4,5 -loop none -split 2 -workers 2 -stream /tmp/graph
+//	krongen -mhat 3,4,5 -loop none -split 2 -stream /tmp/graph -format bin
 //	krongen -mhat 3,4,5 -loop none -split 2 -workers 2 -out /tmp/graph
 //
 // With -shard k/K the process generates only shard k of the deterministic
@@ -51,7 +54,8 @@ func run(args []string) (err error) {
 	workers := fs.Int("workers", 1, "parallel workers (simulated processors)")
 	count := fs.Bool("count", false, "stream-generate and report the edge rate instead of storing")
 	out := fs.String("out", "", "directory to write per-worker edge chunks (prefix 'edges')")
-	stream := fs.String("stream", "", "directory to stream per-worker TSV chunks through the batch-native path (never materializes)")
+	stream := fs.String("stream", "", "directory to stream per-worker edge chunks through the batch-native path (never materializes)")
+	format := fs.String("format", "tsv", "-stream chunk format: tsv, bin (binary delta-varint), or binfixed (binary fixed-width)")
 	shardSpec := fs.String("shard", "", "generate only shard k of the deterministic K-shard plan, as k/K (e.g. 0/4); applies to -count and -stream")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -92,6 +96,9 @@ func run(args []string) (err error) {
 	fmt.Printf("design: %v — %d vertices, %d edges, nnz(B)=%d, nnz(C)=%d\n",
 		d, g.NumVertices(), g.NumEdges(), g.BNNZ(), g.CNNZ())
 
+	if *format != "tsv" && *stream == "" {
+		return fmt.Errorf("-format applies to -stream only")
+	}
 	var shard *gen.ShardInfo
 	if *shardSpec != "" {
 		k, total, err := parseShard(*shardSpec)
@@ -125,7 +132,7 @@ func run(args []string) (err error) {
 		return nil
 	}
 	if *stream != "" {
-		return streamChunks(g, shard, *workers, *stream)
+		return streamChunks(g, shard, *workers, *stream, *format)
 	}
 	if shard != nil {
 		return fmt.Errorf("-shard supports -count and -stream only (materializing per-worker parts is plan-oblivious)")
@@ -175,13 +182,40 @@ func parseShard(spec string) (k, total int, err error) {
 	return k, total, nil
 }
 
-// streamChunks writes one TSV edge chunk per worker through the pipeline
-// layer — or, with a shard, streams exactly this process's slice of the
+// streamChunks writes one edge chunk per worker through the pipeline layer —
+// or, with a shard, streams exactly this process's slice of the
 // deterministic plan. Each worker owns its file via a PerWorker-routed
 // Writer sink, and a Counter rides the same Tee, so the reported edge total
 // is measured from the one generation pass that wrote the chunks; the graph
-// is never materialized and no state is shared between workers.
-func streamChunks(g *gen.Generator, shard *gen.ShardInfo, workers int, dir string) error {
+// is never materialized and no state is shared between workers. Binary
+// chunks get their end-of-stream trailer (count + XOR checksum) from the
+// stream pass's sink Close, which finishes each writer; with one worker the
+// chunk's header also carries the design-time exact edge count, so the file
+// is verifiable on its own (kronvalidate -in).
+func streamChunks(g *gen.Generator, shard *gen.ShardInfo, workers int, dir, format string) error {
+	var enc graphio.BinaryEncoding
+	binary := true
+	switch format {
+	case "tsv":
+		binary = false
+	case "bin":
+		enc = graphio.BinaryDelta
+	case "binfixed":
+		enc = graphio.BinaryFixed
+	default:
+		return fmt.Errorf("unknown -format %q (want tsv, bin, or binfixed)", format)
+	}
+	// A multi-worker chunk covers an unpredictable share of the stream, so
+	// its header omits nnz; a single chunk is the whole (shard's) stream,
+	// whose exact count is known before generation.
+	chunkNNZ := int64(-1)
+	if workers == 1 {
+		if shard != nil {
+			chunkNNZ = shard.Edges
+		} else {
+			chunkNNZ = g.NumEdges()
+		}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -197,12 +231,24 @@ func streamChunks(g *gen.Generator, shard *gen.ShardInfo, workers int, dir strin
 	}()
 	sinks := make([]pipeline.Sink, workers)
 	for p := range files {
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("edges_%04d.tsv", p)))
+		ext := "tsv"
+		if binary {
+			ext = "bin"
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("edges_%04d.%s", p, ext)))
 		if err != nil {
 			return err
 		}
 		files[p] = f
-		sinks[p] = pipeline.Writer(graphio.NewTSVEdgeWriter(f))
+		if binary {
+			ew, err := graphio.NewBinaryEdgeWriter(f, chunkNNZ, enc)
+			if err != nil {
+				return err
+			}
+			sinks[p] = pipeline.Writer(ew)
+		} else {
+			sinks[p] = pipeline.Writer(graphio.NewTSVEdgeWriter(f))
+		}
 	}
 	counter := pipeline.NewCounter(workers)
 	sink := pipeline.Tee(pipeline.PerWorker(sinks...), counter)

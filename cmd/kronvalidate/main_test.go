@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graphio"
+	"repro/internal/pipeline"
+	"repro/kron"
+)
+
+// streamChunkFiles streams the design once per requested format into temp
+// files and returns their paths.
+func streamChunkFiles(t *testing.T) (tsvPath, binPath string) {
+	t.Helper()
+	d, err := kron.FromPoints([]int{3, 4, 5}, kron.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.New(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tsvPath = filepath.Join(dir, "edges.tsv")
+	binPath = filepath.Join(dir, "edges.bin")
+
+	tf, err := os.Create(tsvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StreamTo(context.Background(), 1, 0, pipeline.Writer(graphio.NewTSVEdgeWriter(tf))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := graphio.NewBinaryEdgeWriter(bf, g.NumEdges(), graphio.BinaryDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StreamTo(context.Background(), 1, 0, pipeline.Writer(ew)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tsvPath, binPath
+}
+
+// TestValidateStreams: the -in mode accepts both chunk formats (binary
+// auto-detected by magic) and reconciles their count and checksum against
+// the design's count-only pass.
+func TestValidateStreams(t *testing.T) {
+	tsvPath, binPath := streamChunkFiles(t)
+	args := []string{"-mhat", "3,4,5", "-loop", "hub", "-split", "2"}
+	for _, path := range []string{tsvPath, binPath} {
+		if err := run(context.Background(), append(args, "-in", path)); err != nil {
+			t.Fatalf("-in %s: %v", path, err)
+		}
+	}
+}
+
+// TestValidateStreamsDetectsMismatch: a stream from a different design must
+// fail reconciliation, and a truncated binary stream must fail its own
+// framing check before any counting happens.
+func TestValidateStreamsDetectsMismatch(t *testing.T) {
+	_, binPath := streamChunkFiles(t)
+	if err := run(context.Background(), []string{"-mhat", "3,4", "-loop", "hub", "-in", binPath}); err == nil {
+		t.Fatal("stream of a different design validated")
+	}
+
+	raw, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.bin")
+	if err := os.WriteFile(cut, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-mhat", "3,4,5", "-loop", "hub", "-split", "2", "-in", cut}); err == nil {
+		t.Fatal("truncated binary stream validated")
+	}
+}

@@ -1,0 +1,56 @@
+package graphio
+
+import "strconv"
+
+// digitPairs is the two-digit lookup table: digitPairs[2k:2k+2] is the
+// decimal spelling of k for k in [0, 100).
+const digitPairs = "00010203040506070809" +
+	"10111213141516171819" +
+	"20212223242526272829" +
+	"30313233343536373839" +
+	"40414243444546474849" +
+	"50515253545556575859" +
+	"60616263646566676869" +
+	"70717273747576777879" +
+	"80818283848586878889" +
+	"90919293949596979899"
+
+// appendInt formats v in decimal, specialized for the non-negative indices
+// and values the edge streams carry: two digits per divide via the lookup
+// table, a branch-only path for values under 100 (the common case for edge
+// values and small-design indices), and byte-for-byte strconv.AppendInt
+// output — the parity the formatter tests pin. Negative values take the
+// strconv path unchanged.
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		return strconv.AppendInt(b, v, 10)
+	}
+	u := uint64(v)
+	if u < 10 {
+		return append(b, byte('0'+u))
+	}
+	if u < 100 {
+		return append(b, digitPairs[u*2], digitPairs[u*2+1])
+	}
+	// Backfill a stack buffer two digits at a time; an int64 has at most
+	// 19 decimal digits.
+	var tmp [20]byte
+	i := len(tmp)
+	for u >= 100 {
+		q := u / 100
+		r := (u - q*100) * 2
+		i -= 2
+		tmp[i] = digitPairs[r]
+		tmp[i+1] = digitPairs[r+1]
+		u = q
+	}
+	if u >= 10 {
+		i -= 2
+		tmp[i] = digitPairs[u*2]
+		tmp[i+1] = digitPairs[u*2+1]
+	} else {
+		i--
+		tmp[i] = byte('0' + u)
+	}
+	return append(b, tmp[i:]...)
+}

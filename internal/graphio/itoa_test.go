@@ -1,0 +1,87 @@
+package graphio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// TestAppendIntParity pins the LUT formatter's contract: byte-for-byte
+// strconv.AppendInt output, across the boundary structure of the algorithm
+// (single digit, two digits, every power of ten where the divide loop gains
+// an iteration) and the int64 extremes.
+func TestAppendIntParity(t *testing.T) {
+	var cases []int64
+	for v := int64(-300); v <= 300; v++ {
+		cases = append(cases, v)
+	}
+	for p := int64(1); p <= 1_000_000_000_000_000_000; p *= 10 {
+		cases = append(cases, p-1, p, p+1, -p+1, -p, -p-1)
+	}
+	cases = append(cases, math.MaxInt64, math.MaxInt64-1, math.MinInt64, math.MinInt64+1)
+	for _, v := range cases {
+		got := appendInt(nil, v)
+		want := strconv.AppendInt(nil, v, 10)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("appendInt(%d) = %q, strconv says %q", v, got, want)
+		}
+	}
+}
+
+// TestAppendIntParityRandom hammers the parity property on uniform random
+// int64s (full range, both signs) and on the small values edge streams
+// actually carry.
+func TestAppendIntParityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	check := func(v int64) {
+		t.Helper()
+		got := appendInt(nil, v)
+		want := strconv.AppendInt(nil, v, 10)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("appendInt(%d) = %q, strconv says %q", v, got, want)
+		}
+	}
+	for i := 0; i < 10_000; i++ {
+		check(int64(rng.Uint64()))
+		check(rng.Int63n(1 << 20))
+	}
+}
+
+// TestAppendIntAppends pins that appendInt appends — existing bytes are
+// preserved and the result may alias a grown b, same as strconv.AppendInt.
+func TestAppendIntAppends(t *testing.T) {
+	b := []byte("row=")
+	b = appendInt(b, 12345)
+	if string(b) != "row=12345" {
+		t.Fatalf("append semantics broken: %q", b)
+	}
+}
+
+func BenchmarkAppendInt(b *testing.B) {
+	vals := make([]int64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 40)
+	}
+	buf := make([]byte, 0, 1<<16)
+	b.Run("lut", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			for _, v := range vals {
+				buf = appendInt(buf, v)
+			}
+		}
+	})
+	b.Run("strconv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			for _, v := range vals {
+				buf = strconv.AppendInt(buf, v, 10)
+			}
+		}
+	})
+}

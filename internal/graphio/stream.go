@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 )
 
@@ -48,16 +47,17 @@ const edgeChunk = 1 << 14
 // writeEdgeBatch is the one chunked batch encoder behind both writers'
 // WriteEdges: entries are appended to scratch with the format's field
 // separator and index base (MatrixMarket is 1-based) and pushed to bw in
-// edgeChunk pieces. Returns the (possibly regrown) scratch truncated for
-// reuse.
+// edgeChunk pieces. Fields are formatted by the two-digit-LUT appendInt fast
+// path (byte-parity with strconv pinned by the formatter tests). Returns the
+// (possibly regrown) scratch truncated for reuse.
 func writeEdgeBatch(bw *bufio.Writer, scratch []byte, batch []Edge, sep byte, base int64) ([]byte, error) {
 	b := scratch[:0]
 	for _, e := range batch {
-		b = strconv.AppendInt(b, e.Row+base, 10)
+		b = appendInt(b, e.Row+base)
 		b = append(b, sep)
-		b = strconv.AppendInt(b, e.Col+base, 10)
+		b = appendInt(b, e.Col+base)
 		b = append(b, sep)
-		b = strconv.AppendInt(b, e.Val, 10)
+		b = appendInt(b, e.Val)
 		b = append(b, '\n')
 		if len(b) >= edgeChunk {
 			if _, err := bw.Write(b); err != nil {
@@ -89,11 +89,11 @@ func NewTSVEdgeWriter(w io.Writer) *TSVEdgeWriter {
 // WriteEdge appends one tab-separated triple line.
 func (t *TSVEdgeWriter) WriteEdge(row, col, val int64) error {
 	b := t.buf[:0]
-	b = strconv.AppendInt(b, row, 10)
+	b = appendInt(b, row)
 	b = append(b, '\t')
-	b = strconv.AppendInt(b, col, 10)
+	b = appendInt(b, col)
 	b = append(b, '\t')
-	b = strconv.AppendInt(b, val, 10)
+	b = appendInt(b, val)
 	b = append(b, '\n')
 	t.buf = b
 	_, err := t.bw.Write(b)
@@ -156,11 +156,11 @@ func NewMatrixMarketEdgeWriter(w io.Writer, rows, cols, nnz int64, comments ...s
 // indices.
 func (m *MatrixMarketEdgeWriter) WriteEdge(row, col, val int64) error {
 	b := m.buf[:0]
-	b = strconv.AppendInt(b, row+1, 10)
+	b = appendInt(b, row+1)
 	b = append(b, ' ')
-	b = strconv.AppendInt(b, col+1, 10)
+	b = appendInt(b, col+1)
 	b = append(b, ' ')
-	b = strconv.AppendInt(b, val, 10)
+	b = appendInt(b, val)
 	b = append(b, '\n')
 	m.buf = b
 	_, err := m.bw.Write(b)

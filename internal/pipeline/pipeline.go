@@ -220,7 +220,11 @@ type writerSink struct {
 // (EdgeWriter.WriteEdges) under a mutex, so the output interleaves worker
 // batches atomically; with one worker — or one Writer per worker via
 // PerWorker — the byte stream is deterministic and identical to calling
-// WriteEdges directly. Close flushes the writer.
+// WriteEdges directly. Close finishes writers whose format has an explicit
+// end-of-stream marker (graphio.Finisher, e.g. the binary trailer) and
+// flushes; a sink Close marks a complete stream, so compositions ending in
+// Writer get the trailer for free. Wrap with KeepOpen to close a pipeline
+// without ending the underlying stream.
 func Writer(ew graphio.EdgeWriter) Sink { return &writerSink{ew: ew} }
 
 func (w *writerSink) WriteBatch(p int, batch []Edge) error {
@@ -232,5 +236,9 @@ func (w *writerSink) WriteBatch(p int, batch []Edge) error {
 func (w *writerSink) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if f, ok := w.ew.(graphio.Finisher); ok {
+		// Finish frames pending edges, writes the trailer, and flushes.
+		return f.Finish()
+	}
 	return w.ew.Flush()
 }

@@ -235,3 +235,53 @@ func equalStrings(a, b []string) bool {
 	}
 	return true
 }
+
+// TestWriterCloseFinishesBinaryStream: Writer's Close must end streams whose
+// format has an explicit end-of-stream marker — a composition ending in a
+// binary edge writer produces a complete, trailer-carrying stream without
+// the driver knowing the format.
+func TestWriterCloseFinishesBinaryStream(t *testing.T) {
+	var buf bytes.Buffer
+	ew, err := graphio.NewBinaryEdgeWriter(&buf, 5, graphio.BinaryDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := Writer(ew)
+	if err := sink.WriteBatch(0, mkBatch(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	info, err := graphio.ReadBinary(context.Background(), &buf, func(batch []graphio.Edge) error {
+		n += len(batch)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream closed through Writer does not decode: %v", err)
+	}
+	if n != 5 || info.Edges != 5 {
+		t.Fatalf("decoded %d edges (trailer %d), wrote 5", n, info.Edges)
+	}
+	if want := foldChecksum(mkBatch(5, 3)); info.Checksum != want {
+		t.Fatalf("trailer checksum %#x, fold %#x", uint64(info.Checksum), uint64(want))
+	}
+	// KeepOpen shields the trailer too: closing a KeepOpen-wrapped Writer
+	// must leave the stream open for more edges.
+	var buf2 bytes.Buffer
+	ew2, err := graphio.NewBinaryEdgeWriter(&buf2, -1, graphio.BinaryDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shielded := KeepOpen(Writer(ew2))
+	if err := shielded.WriteBatch(0, mkBatch(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := shielded.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ew2.WriteEdge(9, 9, 1); err != nil {
+		t.Fatalf("KeepOpen-closed binary stream rejected further edges: %v", err)
+	}
+}

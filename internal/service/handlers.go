@@ -321,7 +321,7 @@ func (s *Service) handleStreamEdges(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.streamJob(w, r, j, r.URL.Query().Get("format"))
+	s.streamJob(w, r, j, negotiateFormat(r))
 }
 
 func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/graphio"
@@ -18,11 +19,55 @@ const (
 	// FormatMatrixMarket streams MatrixMarket coordinate entries with a
 	// header declaring the design-time exact edge count.
 	FormatMatrixMarket = "matrixmarket"
+	// FormatBinary streams the KRNB framed binary format: header with the
+	// design-time exact edge count, delta-varint (default) or fixed-width
+	// frames (?enc=delta|fixed), and a trailer with the actual count plus the
+	// XOR content checksum the job status reports.
+	FormatBinary = "bin"
 )
 
-// checkFormat validates the requested format without writing anything, so
-// a bad request can be rejected before the job's one stream is claimed.
-func checkFormat(format string, j *Job) error {
+// ContentTypeBinary is the media type of the KRNB binary edge stream, also
+// accepted in the request Accept header to select format=bin.
+const ContentTypeBinary = "application/x-kron-edges"
+
+// negotiateFormat resolves the stream format for a request: an explicit
+// ?format= always wins; otherwise an Accept header naming the binary media
+// type selects it, and anything else (including no Accept at all — curl's
+// */*) falls through to the TSV default. Unknown Accept values are ignored
+// rather than rejected: Accept is a preference, ?format= is a command.
+func negotiateFormat(r *http.Request) string {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return f
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if mediaType == ContentTypeBinary {
+			return FormatBinary
+		}
+	}
+	return ""
+}
+
+// binaryEncoding maps the ?enc= parameter to the payload encoding; empty
+// picks the compact delta default.
+func binaryEncoding(enc string) (graphio.BinaryEncoding, error) {
+	switch enc {
+	case "", "delta":
+		return graphio.BinaryDelta, nil
+	case "fixed":
+		return graphio.BinaryFixed, nil
+	default:
+		return 0, fmt.Errorf("unknown binary encoding %q (want \"delta\" or \"fixed\")", enc)
+	}
+}
+
+// checkFormat validates the requested format and encoding without writing
+// anything, so a bad request can be rejected before the job's one stream is
+// claimed.
+func checkFormat(format, enc string, j *Job) error {
+	if enc != "" && format != FormatBinary {
+		return fmt.Errorf("enc parameter applies only to format=%s", FormatBinary)
+	}
 	switch format {
 	case "", FormatTSV:
 		return nil
@@ -31,22 +76,32 @@ func checkFormat(format string, j *Job) error {
 			return fmt.Errorf("vertex count %s exceeds MatrixMarket int64 header range", n)
 		}
 		return nil
+	case FormatBinary:
+		_, err := binaryEncoding(enc)
+		return err
 	default:
-		return fmt.Errorf("unknown format %q (want %q or %q)", format, FormatTSV, FormatMatrixMarket)
+		return fmt.Errorf("unknown format %q (want %q, %q, or %q)", format, FormatTSV, FormatMatrixMarket, FormatBinary)
 	}
 }
 
 // newEdgeWriter builds the encoder for a checkFormat-validated format and
-// sets the response content type. The MatrixMarket header — banner, the
-// job's provenance comment, size line — is written immediately: because the
-// design's edge count is exact before generation, the service can emit a
+// sets the response content type. The MatrixMarket and binary headers — both
+// of which declare the exact edge count — are written immediately: because
+// the design's edge count is exact before generation, the service can emit a
 // complete, well-formed header for a graph that does not exist yet.
-func newEdgeWriter(w http.ResponseWriter, format string, j *Job, header string) (graphio.EdgeWriter, error) {
+func newEdgeWriter(w http.ResponseWriter, format, enc string, j *Job, header string) (graphio.EdgeWriter, error) {
 	switch format {
 	case FormatMatrixMarket, "mm":
 		w.Header().Set("Content-Type", "text/plain; charset=us-ascii")
 		n := j.design.NumVertices().Int64()
 		return graphio.NewMatrixMarketEdgeWriter(w, n, n, j.totalEdges, header)
+	case FormatBinary:
+		encoding, err := binaryEncoding(enc)
+		if err != nil {
+			return nil, err
+		}
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		return graphio.NewBinaryEdgeWriter(w, j.totalEdges, encoding)
 	default:
 		w.Header().Set("Content-Type", "text/tab-separated-values")
 		ew := graphio.NewTSVEdgeWriter(w)
@@ -68,7 +123,8 @@ func newEdgeWriter(w http.ResponseWriter, format string, j *Job, header string) 
 // abandoned stream can never be resumed and finishing it would be pure
 // waste.
 func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, format string) {
-	if err := checkFormat(format, j); err != nil {
+	enc := r.URL.Query().Get("enc")
+	if err := checkFormat(format, enc, j); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -89,7 +145,7 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 	if j.shard != nil {
 		header += fmt.Sprintf(" shard %d/%d", j.shard.Shard, j.shard.Shards)
 	}
-	ew, err := newEdgeWriter(w, format, j, header)
+	ew, err := newEdgeWriter(w, format, enc, j, header)
 	if err != nil {
 		// Both writers buffer their header, so nothing has been committed
 		// to the response yet and a real error status can still be sent —
@@ -143,10 +199,17 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 		case b, ok := <-ch:
 			if !ok {
 				// Generation finished (or was cancelled); report how it ended
-				// in a trailer comment the format's reader ignores.
+				// in a trailer comment the format's reader ignores. Formats
+				// with an explicit end-of-stream marker (the binary trailer)
+				// finish instead: the trailer's actual count and checksum are
+				// the end state, and a cancelled job's shortfall surfaces as a
+				// header/trailer count mismatch on read.
 				st := j.Status()
 				_ = ew.Comment(fmt.Sprintf("end state=%s generated=%d streamed=%d",
 					st.State, st.GeneratedEdges, st.StreamedEdges))
+				if f, ok := ew.(graphio.Finisher); ok {
+					_ = f.Finish()
+				}
 				_ = flush()
 				return
 			}

@@ -52,3 +52,10 @@ func Tee(sinks ...Sink) Sink {
 func drive(np int, sink Sink) error {
 	return nil
 }
+
+// ReadBinary mirrors graphio.ReadBinary: a ctx-first decoder whose emit
+// callback carries no worker index (one decode stream, not a fan-out), so
+// the emit-shape check does not mistake it for a driver with a bare loop.
+func ReadBinary(ctx context.Context, np int, emit func(batch []Edge) error) error {
+	return nil
+}

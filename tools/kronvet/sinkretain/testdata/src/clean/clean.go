@@ -156,3 +156,29 @@ func CollectEdges(np int) ([]Edge, error) {
 	})
 	return got, err
 }
+
+// binaryWriter mirrors graphio.BinaryEdgeWriter's WriteEdges: fold the
+// checksum by ranging (element copies), then hand the batch to a synchronous
+// encode/write call — used only for the duration of the call, never retained.
+type binaryWriter struct {
+	checksum int64
+	count    int64
+	out      encoder
+}
+
+func (b *binaryWriter) WriteBatch(p int, batch []Edge) error {
+	for _, e := range batch {
+		b.checksum ^= e.Row*31 + e.Col
+	}
+	b.count += int64(len(batch))
+	return b.out.WriteEdges(batch)
+}
+
+// Close mirrors pipeline.Writer's finisher dispatch: a type assertion on the
+// wrapped encoder, no batch in sight.
+func (b *binaryWriter) Close() error {
+	if f, ok := b.out.(interface{ Finish() error }); ok {
+		return f.Finish()
+	}
+	return nil
+}
