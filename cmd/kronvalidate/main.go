@@ -6,6 +6,23 @@
 //
 //	kronvalidate -mhat 3,4,5,9 -loop hub -split 2 -workers 4
 //
+// With -shard k/K it validates only shard k of the deterministic K-shard
+// plan — the same plan krongen -shard generates from — reconciling the
+// shard's measured edge count against the plan's closed-form count and
+// printing the content checksum for comparison with the generating replica's.
+// Each replica validates its own slice; the per-shard reports merge into the
+// design-level verdict server-side (see kronserve's /v1/validate):
+//
+//	kronvalidate -mhat 3,4,5,9 -loop hub -split 2 -shard 0/4
+//
+// With -sampled it runs the approximate mode: degrees, vertices, and edges
+// are still measured exactly, but triangles are estimated from a strided
+// sample of weight-balanced bands — a KS statistic over the degree
+// distributions plus a triangle relative error replace the binary verdict.
+// Use it when the exact triangle count is the bottleneck:
+//
+//	kronvalidate -mhat 3,4,5,9,16 -loop hub -split 3 -workers 4 -sampled
+//
 // With -in it instead validates previously streamed edge chunks (krongen
 // -stream output; KRNB binary chunks are auto-detected by magic, anything
 // else is read as TSV) against the design: the files' combined edge count
@@ -52,8 +69,19 @@ func run(ctx context.Context, args []string) error {
 	split := fs.Int("split", 1, "number of leading factors forming B in A = B ⊗ C")
 	workers := fs.Int("workers", 1, "parallel workers")
 	in := fs.String("in", "", "comma-separated edge stream files to reconcile against the design (binary auto-detected, else TSV)")
+	shardSpec := fs.String("shard", "", "validate only shard k of the deterministic K-shard plan, as k/K (e.g. 0/4)")
+	sampled := fs.Bool("sampled", false, "approximate mode: exact degrees/vertices/edges, sampled triangle estimate")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	exclusive := 0
+	for _, set := range []bool{*in != "", *shardSpec != "", *sampled} {
+		if set {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		return fmt.Errorf("-in, -shard, and -sampled are mutually exclusive")
 	}
 	points, err := cliutil.ParsePoints(*mhat)
 	if err != nil {
@@ -70,6 +98,12 @@ func run(ctx context.Context, args []string) error {
 	if *in != "" {
 		return validateStreams(ctx, d, *split, *workers, strings.Split(*in, ","))
 	}
+	if *shardSpec != "" {
+		return validateShard(ctx, d, *split, *workers, *shardSpec)
+	}
+	if *sampled {
+		return validateSampled(ctx, d, *split, *workers)
+	}
 	r, err := kron.Validate(ctx, d, *split, *workers)
 	if err != nil {
 		return err
@@ -79,6 +113,67 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("validation failed")
 	}
 	return nil
+}
+
+// validateShard runs the shard-native validation pass over one slice of the
+// deterministic K-shard plan and reconciles its measurement against the
+// plan's closed-form edge count. The content checksum is printed so it can be
+// compared with the generating replica's fold (the plan itself carries zero
+// checksums unless enumerated; the closed-form edge count is the cheap,
+// always-available reconciliation).
+func validateShard(ctx context.Context, d *kron.Design, split, workers int, spec string) error {
+	k, total, err := parseShard(spec)
+	if err != nil {
+		return err
+	}
+	plan, err := kron.PlanShards(d, split, total)
+	if err != nil {
+		return err
+	}
+	rep, err := kron.ValidateShard(ctx, d, split, workers, plan[k])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %d/%d: B rows [%d,%d)\n", k, total, rep.Shard.BLo, rep.Shard.BHi)
+	fmt.Printf("measured: %d edges, checksum %x\n", rep.MeasuredEdges, rep.Checksum)
+	fmt.Printf("plan:     %d edges\n", rep.Shard.Edges)
+	if rep.MeasuredEdges != rep.Shard.Edges {
+		return fmt.Errorf("shard disagrees with plan: measured %d edges, plan %d", rep.MeasuredEdges, rep.Shard.Edges)
+	}
+	fmt.Println("shard agreement: exact")
+	return nil
+}
+
+// validateSampled runs the approximate validation mode: exact degree,
+// vertex, and edge measurement plus a banded triangle estimate.
+func validateSampled(ctx context.Context, d *kron.Design, split, workers int) error {
+	r, err := kron.ValidateSampled(ctx, d, split, workers, kron.SampleOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r)
+	if !r.ExactAgreement {
+		return fmt.Errorf("validation failed")
+	}
+	return nil
+}
+
+// parseShard parses a -shard k/K spec, mirroring krongen's flag.
+func parseShard(spec string) (k, total int, err error) {
+	lo, hi, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q: want k/K (e.g. 0/4)", spec)
+	}
+	if k, err = strconv.Atoi(lo); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %v", spec, err)
+	}
+	if total, err = strconv.Atoi(hi); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %v", spec, err)
+	}
+	if total < 1 || k < 0 || k >= total {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 ≤ k < K", spec)
+	}
+	return k, total, nil
 }
 
 // validateStreams folds the edge count and XOR content checksum over every

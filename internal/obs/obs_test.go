@@ -151,7 +151,31 @@ func TestStageSet(t *testing.T) {
 	var nilSet *StageSet
 	var nilStage *Stage
 	nilStage.Record(1, time.Second) // nil-safe
+	nilStage.RecordWorker(3, 1, time.Second)
 	if err := nilSet.Render(&out, "x"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// RecordWorker stripes across padded cells by worker index; Snapshot must sum
+// every stripe, including workers past the cell count that wrap around.
+func TestStageRecordWorkerStriping(t *testing.T) {
+	ss := NewStageSet()
+	st := ss.Stage("striped")
+	const workers = stageCells + 3 // wraps: workers 16..18 share cells 0..2
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				st.RecordWorker(p, 10, time.Microsecond)
+			}
+		}(p)
+	}
+	wg.Wait()
+	s := st.Snapshot()
+	if s.Batches != workers*100 || s.Edges != workers*1000 || s.Busy != workers*100*time.Microsecond {
+		t.Fatalf("striped totals %+v, want %d batches %d edges", s, workers*100, workers*1000)
 	}
 }

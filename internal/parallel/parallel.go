@@ -106,10 +106,21 @@ func RunContext(ctx context.Context, np int, fn func(ctx context.Context, p int)
 
 // ScalingPoint is one measured or modeled point of Figure 3: the aggregate
 // edge-generation rate at a given core count.
+//
+// Extrapolated marks points that were not honestly measured at Cores
+// schedulable processors: model-derived points (Series), and benchmark rows
+// recorded with more workers than GOMAXPROCS — np goroutines multiplexed onto
+// fewer processors measure scheduling overhead, not scaling, and reading such
+// a row as a measured point is exactly the artifact that once made the fig4
+// validation series look flat. Gomaxprocs records the scheduler width the
+// measurement actually ran under so a reader can audit the distinction.
 type ScalingPoint struct {
 	Cores        int
 	EdgesPerSec  float64
 	Extrapolated bool
+	// Gomaxprocs is runtime.GOMAXPROCS(0) at measurement time; 0 on modeled
+	// points, which never ran.
+	Gomaxprocs int
 }
 
 // ScalingModel extrapolates a measured per-core rate linearly, which is

@@ -19,8 +19,10 @@ type instrumented struct {
 // nothing at steady state, so it can sit on the service's streaming hot path
 // and inside validation's measurement passes — per-stage batches, edges, and
 // busy_seconds are what turn "the pipeline is slow" into "this stage is the
-// bottleneck". Close passes through untouched: instrumentation must not
-// change the sink lifecycle it observes.
+// bottleneck". Recording is routed by worker index into the stage's striped
+// padded cells, so parallel passes never write-share a counter cache line
+// through their instrumentation. Close passes through untouched:
+// instrumentation must not change the sink lifecycle it observes.
 func Instrument(stage *obs.Stage, sink Sink) Sink {
 	return &instrumented{stage: stage, sink: sink}
 }
@@ -28,7 +30,7 @@ func Instrument(stage *obs.Stage, sink Sink) Sink {
 func (i *instrumented) WriteBatch(p int, batch []Edge) error {
 	start := time.Now()
 	err := i.sink.WriteBatch(p, batch)
-	i.stage.Record(len(batch), time.Since(start))
+	i.stage.RecordWorker(p, len(batch), time.Since(start))
 	return err
 }
 

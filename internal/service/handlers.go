@@ -371,13 +371,12 @@ func (s *Service) handleValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.shard != nil {
-		// Validation compares a full regeneration against the design's closed
-		// forms; a shard job only produced a slice, so "measured vs predicted"
-		// is defined at the design level, not per shard. Shard completeness is
-		// verified through the plan's edge counts and checksums instead.
-		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Sprintf("job %s generated shard %d/%d; validation is design-level — validate an unsharded job, and verify shards against the plan's counts and checksums",
-				j.ID(), j.shard.Shard, j.shard.Shards))
+		// A shard job produced one slice of a plan, so its validation is
+		// shard-native: measure the slice, reconcile it against the plan's
+		// closed-form count and the generation checksum, and merge with the
+		// sibling shards' fragments into the design-level report once the
+		// whole plan has been validated.
+		s.handleValidateShard(w, r, j)
 		return
 	}
 	if j.totalEdges > kron.MaxValidationEdges {

@@ -154,6 +154,11 @@ type Job struct {
 
 	valMu      sync.Mutex
 	validation *ValidationResponse
+	// shardVal caches a sharded job's per-shard validation measurement (the
+	// mergeable fragment included); nil until /v1/validate computes it. For
+	// shard jobs, validation above holds the design-level merged report once
+	// every sibling shard has been validated.
+	shardVal *kron.ShardValidation
 }
 
 // markLocked appends a phase event; the caller holds j.mu.
@@ -166,6 +171,24 @@ func (j *Job) mark(phase, detail string) {
 	j.mu.Lock()
 	j.markLocked(phase, detail)
 	j.mu.Unlock()
+}
+
+// markStreaming records the first batch reaching the /edges consumer. The
+// consumer goroutine races the generator's finish: a small job buffers every
+// batch in the stream channel and can reach its terminal state before the
+// consumer dequeues one, so when a terminal event is already recorded the
+// streaming event slots in just before it, borrowing its timestamp — a
+// trace's last phase must keep naming how the job ended and its timestamps
+// must stay monotone.
+func (j *Job) markStreaming() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n := len(j.trace); n > 0 && j.state.Terminal() && j.trace[n-1].Phase == string(j.state) {
+		term := j.trace[n-1]
+		j.trace = append(j.trace[:n-1], TraceEvent{Phase: PhaseStreaming, At: term.At}, term)
+		return
+	}
+	j.markLocked(PhaseStreaming, "")
 }
 
 // Trace returns a copy of the job's phase timeline so far.

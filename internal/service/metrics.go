@@ -37,6 +37,9 @@ type Metrics struct {
 	ValidationsRun   atomic.Int64 // counter: validation passes executed
 	ValidationsExact atomic.Int64 // counter: validations reporting exact agreement
 
+	ShardValidationsRun    atomic.Int64 // counter: per-shard validation measurements executed
+	ShardValidationsMerged atomic.Int64 // counter: complete shard plans merged into design-level reports
+
 	ShardJobs        atomic.Int64 // counter: sharded generation jobs admitted
 	ShardPlansBuilt  atomic.Int64 // counter: shard plans computed (plan-cache misses)
 	PlanCacheHits    atomic.Int64 // counter: shard plans served from the plan LRU
@@ -142,6 +145,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"kronserve_design_cache_misses_total", "Design cache misses.", "counter", m.CacheMisses.Load()},
 		{"kronserve_validations_total", "Validation passes executed.", "counter", m.ValidationsRun.Load()},
 		{"kronserve_validations_exact_total", "Validations reporting exact agreement.", "counter", m.ValidationsExact.Load()},
+		{"kronserve_shard_validations_total", "Per-shard validation measurements executed.", "counter", m.ShardValidationsRun.Load()},
+		{"kronserve_shard_validations_merged_total", "Complete shard plans merged into design-level reports.", "counter", m.ShardValidationsMerged.Load()},
 		{"kronserve_shard_jobs_total", "Sharded generation jobs admitted.", "counter", m.ShardJobs.Load()},
 		{"kronserve_shard_plans_built_total", "Shard plans computed (plan-cache misses).", "counter", m.ShardPlansBuilt.Load()},
 		{"kronserve_shard_plan_cache_hits_total", "Shard plans served from the plan LRU.", "counter", m.PlanCacheHits.Load()},

@@ -313,23 +313,23 @@ func TestServiceShardPlanWithCachingDisabled(t *testing.T) {
 	}
 }
 
-// TestServiceShardJobValidateRejected checks that design-level validation
-// refuses sharded jobs with 422 instead of comparing a slice against the
-// whole design's closed forms.
-func TestServiceShardJobValidateRejected(t *testing.T) {
+// TestServiceShardJobValidatePartial checks that validating one shard of a
+// plan no longer 422s: it returns that shard's reconciled measurement with
+// the sibling shard listed as pending and no merged report yet. (The full
+// merge flow is covered in validate_shard_test.go.)
+func TestServiceShardJobValidatePartial(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "hub"}
 	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
 		DesignRequest: design, Workers: 1, Shards: 2, Shard: 0, Sink: SinkDiscard,
 	}))
 	waitForState(t, ts.URL, job.ID, StateDone)
-	resp, err := http.Get(ts.URL + "/v1/validate/" + job.ID)
-	if err != nil {
-		t.Fatal(err)
+	v := getJSON[ShardValidationResponse](t, ts.URL+"/v1/validate/"+job.ID, http.StatusOK)
+	if !v.EdgesMatchPlan || v.Merged != nil || len(v.PendingShards) != 1 || v.PendingShards[0] != 1 {
+		t.Fatalf("partial shard validation: %+v", v)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("validate sharded job: %d, want 422", resp.StatusCode)
+	if v.ChecksumMatchesJob == nil || !*v.ChecksumMatchesJob {
+		t.Fatalf("validation checksum did not reconcile with the job's: %+v", v)
 	}
 }
 

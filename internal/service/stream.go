@@ -215,7 +215,7 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 			}
 			now := time.Now()
 			if lastBatch.IsZero() {
-				j.mark(PhaseStreaming, "")
+				j.markStreaming()
 			} else {
 				s.metrics.StreamBatchGap.Observe(now.Sub(lastBatch))
 			}

@@ -56,6 +56,36 @@ func checkTimeline(t *testing.T, tr TraceResponse, wantState JobState) {
 	}
 }
 
+// A fast job can finish — terminal trace event and all — before the /edges
+// consumer dequeues its first buffered batch; the late streaming mark must
+// slot in before the terminal event, not after it.
+func TestStreamingMarkAfterFinishKeepsTerminalLast(t *testing.T) {
+	j := &Job{state: StateDone}
+	j.markLocked(PhaseAdmitted, "")
+	j.markLocked(PhaseGenerating, "")
+	j.markLocked(string(StateDone), "")
+	j.markStreaming()
+	tr := j.Trace()
+	got := make([]string, len(tr))
+	for i, ev := range tr {
+		got[i] = ev.Phase
+	}
+	want := []string{PhaseAdmitted, PhaseGenerating, PhaseStreaming, string(StateDone)}
+	if len(got) != len(want) {
+		t.Fatalf("trace %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace %v, want %v", got, want)
+		}
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].At.Before(tr[i-1].At) {
+			t.Fatalf("timestamps not monotone after insertion: %v", tr)
+		}
+	}
+}
+
 // indexOf returns the position of a phase in the trace, or -1.
 func indexOf(tr TraceResponse, phase string) int {
 	for i, ev := range tr.Events {

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/kron"
+)
+
+// ShardValidationResponse is the JSON rendering of a sharded job's partial
+// validation: the shard's in-flight measurement reconciled against the plan's
+// closed-form edge count and the generation pass's content checksum, plus —
+// once every sibling shard of the plan has been validated — the design-level
+// merged report. Until then PendingShards lists what is still missing, so a
+// coordinator can drive K replicas to a complete validation by polling the
+// same endpoint it polls for job status.
+type ShardValidationResponse struct {
+	JobID   string        `json:"jobId"`
+	Design  DesignRequest `json:"design"`
+	Workers int           `json:"workers"`
+	Shard   ShardStatus   `json:"shard"`
+
+	// MeasuredEdges and Checksum are the validation pass's own in-flight
+	// folds over the regenerated shard.
+	MeasuredEdges int64 `json:"measuredEdges"`
+	Checksum      int64 `json:"checksum"`
+
+	// EdgesMatchPlan reports MeasuredEdges == the plan's closed-form count.
+	EdgesMatchPlan bool `json:"edgesMatchPlan"`
+	// ChecksumMatchesJob reconciles the validation checksum against the
+	// generation job's recorded fold — regeneration produced bit-identical
+	// content to what was served; absent when the job recorded no checksum
+	// (e.g. it predates the fold or generation failed).
+	ChecksumMatchesJob *bool `json:"checksumMatchesJob,omitempty"`
+
+	// PendingShards lists plan indices whose jobs have not yet been
+	// validated on this server; empty once Merged is present.
+	PendingShards []int `json:"pendingShards,omitempty"`
+	// Merged is the design-level predicted-vs-measured report, present once
+	// all of the plan's shards were validated and their fragments merged.
+	Merged *ValidationResponse `json:"merged,omitempty"`
+}
+
+// handleValidateShard is handleValidate's branch for sharded jobs: instead of
+// the old 422, the shard's slice is regenerated and measured (cached on the
+// job), reconciled against the plan and the job's checksum, and — when this
+// was the last unvalidated shard of its plan — merged with its siblings into
+// the design-level exact report.
+func (s *Service) handleValidateShard(w http.ResponseWriter, r *http.Request, j *Job) {
+	// The realization bound is design-level: the K fragments ultimately merge
+	// into one design-sized CSR, so admitting a shard of an over-bound design
+	// would only defer the refusal to the merge.
+	if edges := j.design.NumEdges(); !edges.IsInt64() || edges.Int64() > kron.MaxValidationEdges {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("job %s's design has %s edges, over the %d-edge validation realization bound; its design-side properties remain exact",
+				j.ID(), edges, int64(kron.MaxValidationEdges)))
+		return
+	}
+	sv, merged, err := s.shardValidation(r.Context(), j)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+			writeError(w, statusClientClosedRequest, "validation cancelled: client disconnected")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := ShardValidationResponse{
+		JobID:   j.ID(),
+		Design:  j.req.DesignRequest,
+		Workers: sv.Workers,
+		Shard: ShardStatus{
+			Shard:  sv.Shard.Shard,
+			Shards: sv.Shard.Shards,
+			BLo:    sv.Shard.BLo,
+			BHi:    sv.Shard.BHi,
+			Edges:  sv.Shard.Edges,
+		},
+		MeasuredEdges:  sv.MeasuredEdges,
+		Checksum:       sv.Checksum,
+		EdgesMatchPlan: sv.MeasuredEdges == sv.Shard.Edges,
+		Merged:         merged,
+	}
+	j.mu.Lock()
+	if j.hasChecksum {
+		match := sv.Checksum == j.checksum
+		resp.ChecksumMatchesJob = &match
+	}
+	j.mu.Unlock()
+	if merged == nil {
+		_, resp.PendingShards = s.manager.collectShardValidations(j)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardValidation returns the job's cached per-shard measurement, computing
+// it on first request, and attempts the design-level merge. The merge result
+// (cached on every sibling job as its validation) is returned when the plan
+// is complete; otherwise nil.
+func (s *Service) shardValidation(ctx context.Context, j *Job) (*kron.ShardValidation, *ValidationResponse, error) {
+	j.valMu.Lock()
+	sv, merged := j.shardVal, j.validation
+	j.valMu.Unlock()
+	if sv == nil {
+		// Computed without holding valMu: sibling shards must be able to
+		// validate concurrently (that is the point of sharding), and the
+		// merge step below reads siblings' caches — holding one job's lock
+		// while taking another's would deadlock two crossing requests. The
+		// race on first-compute costs at most a duplicated measurement; the
+		// results are deterministic, so either winner is correct.
+		measured, err := kron.ValidateShard(ctx, j.design, j.split, j.workers, *j.shard)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.metrics.ShardValidationsRun.Add(1)
+		j.valMu.Lock()
+		if j.shardVal == nil {
+			j.shardVal = measured
+		}
+		sv, merged = j.shardVal, j.validation
+		j.valMu.Unlock()
+	}
+	if merged != nil {
+		return sv, merged, nil
+	}
+	reports, pending := s.manager.collectShardValidations(j)
+	if len(pending) > 0 {
+		return sv, nil, nil
+	}
+	rep, err := kron.MergeValidation(ctx, reports, j.workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.metrics.ShardValidationsMerged.Add(1)
+	s.metrics.ValidationsRun.Add(1)
+	if rep.ExactAgreement {
+		s.metrics.ValidationsExact.Add(1)
+	}
+	merged = &ValidationResponse{
+		JobID:                 j.ID(),
+		Design:                j.req.DesignRequest,
+		Workers:               rep.Workers,
+		PredictedVertices:     rep.PredictedVertices.String(),
+		PredictedEdges:        rep.PredictedEdges.String(),
+		PredictedTriangles:    rep.PredictedTriangles.String(),
+		MeasuredVertices:      rep.MeasuredVertices,
+		MeasuredEdges:         rep.MeasuredEdges,
+		MeasuredTriangles:     rep.MeasuredTriangles,
+		DegreePointsPredicted: rep.PredictedDegrees.Len(),
+		DegreePointsMeasured:  rep.MeasuredDegrees.Len(),
+		ExactAgreement:        rep.ExactAgreement,
+		Mismatches:            rep.Mismatches,
+	}
+	// Cache the merged report on every sibling (first writer wins), so any
+	// shard job of the plan serves the design-level verdict from then on.
+	for _, sib := range s.manager.shardSiblings(j) {
+		sibMerged := *merged
+		sibMerged.JobID = sib.ID()
+		sib.valMu.Lock()
+		if sib.validation == nil {
+			sib.validation = &sibMerged
+		}
+		sib.valMu.Unlock()
+	}
+	j.valMu.Lock()
+	if j.validation == nil {
+		j.validation = merged
+	}
+	merged = j.validation
+	j.valMu.Unlock()
+	return sv, merged, nil
+}
+
+// shardSiblings returns every done job generating a shard of the same plan as
+// j — same design hash, split, and shard count — including j itself, one job
+// per shard index (the most recently created wins, matching a retry's shard
+// job superseding a failed predecessor's).
+func (m *Manager) shardSiblings(j *Job) []*Job {
+	byIndex := make(map[int]*Job, j.shard.Shards)
+	hash := j.req.DesignRequest.Hash()
+	for _, cand := range m.List() {
+		if cand.shard == nil || cand.shard.Shards != j.shard.Shards ||
+			cand.split != j.split || cand.req.DesignRequest.Hash() != hash {
+			continue
+		}
+		cand.mu.Lock()
+		done := cand.state == StateDone
+		cand.mu.Unlock()
+		if done {
+			byIndex[cand.shard.Shard] = cand // List is creation-ordered; later wins
+		}
+	}
+	out := make([]*Job, 0, len(byIndex))
+	for _, sib := range byIndex {
+		out = append(out, sib)
+	}
+	return out
+}
+
+// collectShardValidations gathers the cached per-shard measurements covering
+// j's plan. It returns the reports when every shard index 0..K-1 has one, or
+// the sorted list of shard indices still missing — either because no done job
+// for that shard exists or because its validation has not been requested yet.
+func (m *Manager) collectShardValidations(j *Job) ([]*kron.ShardValidation, []int) {
+	K := j.shard.Shards
+	have := make(map[int]*kron.ShardValidation, K)
+	for _, sib := range m.shardSiblings(j) {
+		sib.valMu.Lock()
+		sv := sib.shardVal
+		sib.valMu.Unlock()
+		if sv != nil {
+			have[sv.Shard.Shard] = sv
+		}
+	}
+	var pending []int
+	reports := make([]*kron.ShardValidation, 0, K)
+	for i := 0; i < K; i++ {
+		if sv, ok := have[i]; ok {
+			reports = append(reports, sv)
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) > 0 {
+		sort.Ints(pending)
+		return nil, pending
+	}
+	return reports, nil
+}

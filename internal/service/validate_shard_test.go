@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The tentpole service contract: K shard jobs of one plan, validated one by
+// one, accumulate into the design-level merged report — identical to the
+// verdict an unsharded job's validation gives — with correct pending-shard
+// accounting along the way and the merged report cached on every sibling.
+func TestServiceShardValidationMerges(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5, 9}, Loop: "hub"}
+	const K = 3
+
+	jobs := make([]JobStatus, K)
+	for i := 0; i < K; i++ {
+		jobs[i] = decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+			DesignRequest: design, Workers: 2, Split: 2, Shards: K, Shard: i, Sink: SinkDiscard,
+		}))
+	}
+	for i := 0; i < K; i++ {
+		waitForState(t, ts.URL, jobs[i].ID, StateDone)
+	}
+
+	// Shards 0..K-2: partial responses listing exactly the not-yet-validated
+	// indices, reconciled against plan and job checksum, no merge yet.
+	for i := 0; i < K-1; i++ {
+		v := getJSON[ShardValidationResponse](t, ts.URL+"/v1/validate/"+jobs[i].ID, http.StatusOK)
+		if !v.EdgesMatchPlan {
+			t.Fatalf("shard %d: measured %d edges, plan %d", i, v.MeasuredEdges, v.Shard.Edges)
+		}
+		if v.ChecksumMatchesJob == nil || !*v.ChecksumMatchesJob {
+			t.Fatalf("shard %d: checksum did not reconcile with the generation job", i)
+		}
+		if v.Merged != nil {
+			t.Fatalf("shard %d: merged report before the plan was complete", i)
+		}
+		if want := K - 1 - i; len(v.PendingShards) != want {
+			t.Fatalf("shard %d: pending %v, want %d entries", i, v.PendingShards, want)
+		}
+	}
+
+	// The last shard's validation completes the plan: its response carries
+	// the merged design-level report.
+	last := getJSON[ShardValidationResponse](t, ts.URL+"/v1/validate/"+jobs[K-1].ID, http.StatusOK)
+	if last.Merged == nil {
+		t.Fatalf("last shard did not trigger the merge: %+v", last)
+	}
+	if !last.Merged.ExactAgreement {
+		t.Fatalf("merged report disagrees: %+v", last.Merged.Mismatches)
+	}
+	if len(last.PendingShards) != 0 {
+		t.Fatalf("merged response still lists pending shards: %v", last.PendingShards)
+	}
+	if got := s.Metrics().ShardValidationsRun.Load(); got != K {
+		t.Fatalf("shard validations run = %d, want %d", got, K)
+	}
+	if got := s.Metrics().ShardValidationsMerged.Load(); got != 1 {
+		t.Fatalf("merges = %d, want 1", got)
+	}
+
+	// The merged verdict must equal the unsharded validation of the same
+	// design (served from a separate unsharded job).
+	full := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		DesignRequest: design, Workers: 2, Split: 2, Sink: SinkDiscard,
+	}))
+	waitForState(t, ts.URL, full.ID, StateDone)
+	want := getJSON[ValidationResponse](t, ts.URL+"/v1/validate/"+full.ID, http.StatusOK)
+	m := last.Merged
+	if m.MeasuredVertices != want.MeasuredVertices || m.MeasuredEdges != want.MeasuredEdges ||
+		m.MeasuredTriangles != want.MeasuredTriangles || m.ExactAgreement != want.ExactAgreement {
+		t.Fatalf("merged %+v != unsharded %+v", m, want)
+	}
+
+	// Every earlier sibling now serves the cached merged report too, without
+	// re-running anything.
+	v0 := getJSON[ShardValidationResponse](t, ts.URL+"/v1/validate/"+jobs[0].ID, http.StatusOK)
+	if v0.Merged == nil || v0.Merged.MeasuredTriangles != m.MeasuredTriangles {
+		t.Fatalf("sibling did not serve the cached merged report: %+v", v0)
+	}
+	if v0.Merged.JobID != jobs[0].ID {
+		t.Fatalf("cached merged report carries job %s, want the sibling's own id %s", v0.Merged.JobID, jobs[0].ID)
+	}
+	if got := s.Metrics().ShardValidationsRun.Load(); got != K {
+		t.Fatalf("sibling re-read re-ran a shard validation (%d runs)", got)
+	}
+}
+
+// A client that disconnects during a shard validation gets 499, nothing is
+// cached, and a later live request still validates the shard cleanly — the
+// unsharded cancel contract extended to the shard path.
+func TestServiceShardValidationCancelled(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5, 9}, Loop: "hub"}
+	job := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		DesignRequest: design, Workers: 2, Split: 2, Shards: 2, Shard: 0, Sink: SinkDiscard,
+	}))
+	waitForState(t, ts.URL, job.ID, StateDone)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/v1/validate/"+job.ID, nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("cancelled shard validate: status %d, want %d (body %s)",
+			rec.Code, statusClientClosedRequest, tail(rec.Body.String(), 200))
+	}
+	if got := s.Metrics().ShardValidationsRun.Load(); got != 0 {
+		t.Fatalf("cancelled shard validation counted as run (%d)", got)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/v1/validate/"+job.ID, nil)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("follow-up shard validate: status %d: %s", rec.Code, tail(rec.Body.String(), 200))
+	}
+}
+
+// Validating a shard job whose sibling shard was generated by a second
+// (retried) job must pick the newest done job per shard index and still
+// merge; a pending, never-validated duplicate does not double-count.
+func TestServiceShardValidationRetriedSibling(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := DesignRequest{Points: []int{3, 4, 5}, Loop: "leaf"}
+	j0 := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		DesignRequest: design, Workers: 1, Shards: 2, Shard: 0, Sink: SinkDiscard,
+	}))
+	// Shard 1 runs twice, as a coordinator retrying a flaky replica would.
+	j1a := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		DesignRequest: design, Workers: 1, Shards: 2, Shard: 1, Sink: SinkDiscard,
+	}))
+	j1b := decodeBody[JobStatus](t, postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		DesignRequest: design, Workers: 1, Shards: 2, Shard: 1, Sink: SinkDiscard,
+	}))
+	for _, j := range []JobStatus{j0, j1a, j1b} {
+		waitForState(t, ts.URL, j.ID, StateDone)
+	}
+	if v := getJSON[ShardValidationResponse](t, ts.URL+"/v1/validate/"+j0.ID, http.StatusOK); v.Merged != nil {
+		t.Fatalf("merge without shard 1 validated: %+v", v)
+	}
+	v := getJSON[ShardValidationResponse](t, ts.URL+"/v1/validate/"+j1b.ID, http.StatusOK)
+	if v.Merged == nil || !v.Merged.ExactAgreement {
+		t.Fatalf("retried-sibling merge failed: %+v", v)
+	}
+}

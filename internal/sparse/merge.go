@@ -1,0 +1,91 @@
+package sparse
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// MergeCSR concatenates K same-shaped CSR fragments into one canonical CSR
+// matrix with np parallel workers: row i of the result is fragment 0's row i
+// followed by fragment 1's, and so on, in the order given. It is the fan-in
+// step of shard-native validation — each shard's measurement pass builds a
+// fragment holding only that shard's edges over the full vertex space, and
+// the generator's band-order guarantee extends across shards (shard s's
+// columns for any row all precede shard s+1's, because shards partition B's
+// CSC triple order), so per-row concatenation in shard order is already
+// column-sorted. Rows that arrive out of order anyway — fragments from an
+// untrusted source, or a plan fed in the wrong order — are detected and
+// sorted in place, so the result is always canonical CSR short of duplicate
+// combining, exactly like CSRBuilder.Build.
+//
+// A single fragment is already the merged result and is returned as-is,
+// sharing its storage. ctx is checked once per row; a cancelled merge
+// returns ctx's error with the output abandoned.
+func MergeCSR[T any](ctx context.Context, np int, frags []*CSR[T]) (*CSR[T], error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("sparse: MergeCSR needs at least one fragment")
+	}
+	rows, cols := frags[0].NumRows, frags[0].NumCols
+	var nnz int64
+	for i, f := range frags {
+		if f == nil {
+			return nil, fmt.Errorf("sparse: fragment %d is nil", i)
+		}
+		if f.NumRows != rows || f.NumCols != cols {
+			return nil, fmt.Errorf("sparse: fragment %d is %dx%d, want %dx%d like fragment 0",
+				i, f.NumRows, f.NumCols, rows, cols)
+		}
+		nnz += int64(f.NNZ())
+	}
+	if len(frags) == 1 {
+		return frags[0], nil
+	}
+	rowPtr := make([]int, rows+1)
+	var pos int64
+	for r := 0; r < rows; r++ {
+		rowPtr[r] = int(pos)
+		for _, f := range frags {
+			pos += int64(f.RowPtr[r+1] - f.RowPtr[r])
+		}
+	}
+	rowPtr[rows] = int(nnz)
+	colIdx := make([]int, nnz)
+	val := make([]T, nnz)
+	bands, err := parallel.Partition(rows, np)
+	if err != nil {
+		return nil, err
+	}
+	err = parallel.RunContext(ctx, len(bands), func(ctx context.Context, k int) error {
+		for r := bands[k].Lo; r < bands[k].Hi; r++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			p := rowPtr[r]
+			for _, f := range frags {
+				lo, hi := f.RowPtr[r], f.RowPtr[r+1]
+				copy(colIdx[p:], f.ColIdx[lo:hi])
+				copy(val[p:], f.Val[lo:hi])
+				p += hi - lo
+			}
+			lo, hi := rowPtr[r], rowPtr[r+1]
+			sorted := true
+			for q := lo + 1; q < hi; q++ {
+				if colIdx[q-1] > colIdx[q] {
+					sorted = false
+					break
+				}
+			}
+			if !sorted {
+				sort.Sort(&pairSorter[T]{cols: colIdx[lo:hi], vals: val[lo:hi]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CSR[T]{NumRows: rows, NumCols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}

@@ -140,9 +140,31 @@ func CountLinearAlgebraCSR(ctx context.Context, a *sparse.CSR[int64], np int) (i
 }
 
 func countLinearAlgebraBands(ctx context.Context, a *sparse.CSR[int64], bands [][2]int) (int64, error) {
+	total, err := sumLinearAlgebraBands(ctx, a, bands)
+	if err != nil {
+		return 0, err
+	}
+	if total%6 != 0 {
+		return 0, fmt.Errorf("triangle: 1ᵀ(AA⊗A)1 = %d not divisible by 6; input not a simple symmetric graph?", total)
+	}
+	return total / 6, nil
+}
+
+// sumLinearAlgebraBands evaluates the raw quantity 1ᵀ((A·A) ⊗ A)1 restricted
+// to the given stored-entry bands, exploiting symmetry: for an entry (i,j)
+// with j > i the mirrored entry (j,i) contributes the identical dot product,
+// so only the upper triangle is intersected and its sum doubled (diagonal
+// entries, absent from the simple graphs the engine measures but tolerated,
+// count once). That halves the intersection work of the dominant validation
+// phase without touching the band partition — upper- and lower-triangle
+// entries of a symmetric matrix are equally distributed across entry bands,
+// so the halving thins every band evenly rather than starving some workers.
+// Skipped lower-triangle entries still advance the cancellation budget, so a
+// cancelled count stops within the same stride it always did.
+func sumLinearAlgebraBands(ctx context.Context, a *sparse.CSR[int64], bands [][2]int) (int64, error) {
 	sums := make([]int64, len(bands))
 	err := parallel.RunContext(ctx, len(bands), func(ctx context.Context, p int) error {
-		var acc int64
+		var upper, diag int64
 		i := rowOfEntry(a, bands[p][0])
 		untilCheck := cancelCheckStride
 		for k := bands[p][0]; k < bands[p][1]; k++ {
@@ -150,9 +172,23 @@ func countLinearAlgebraBands(ctx context.Context, a *sparse.CSR[int64], bands []
 				i++
 			}
 			j := a.ColIdx[k]
+			if j < i {
+				if untilCheck--; untilCheck <= 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					untilCheck = cancelCheckStride
+				}
+				continue // mirrored by (j,i) in some band; counted there, doubled below
+			}
 			iCols, iVals := a.Row(i)
 			jCols, jVals := a.Row(j)
-			acc += sparseDotInt64(iCols, iVals, jCols, jVals) * a.Val[k]
+			dot := sparseDotInt64(iCols, iVals, jCols, jVals) * a.Val[k]
+			if j == i {
+				diag += dot
+			} else {
+				upper += dot
+			}
 			if untilCheck -= len(iCols) + len(jCols) + 1; untilCheck <= 0 {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -160,7 +196,7 @@ func countLinearAlgebraBands(ctx context.Context, a *sparse.CSR[int64], bands []
 				untilCheck = cancelCheckStride
 			}
 		}
-		sums[p] = acc
+		sums[p] = 2*upper + diag
 		return nil
 	})
 	if err != nil {
@@ -170,10 +206,23 @@ func countLinearAlgebraBands(ctx context.Context, a *sparse.CSR[int64], bands []
 	for _, s := range sums {
 		total += s
 	}
-	if total%6 != 0 {
-		return 0, fmt.Errorf("triangle: 1ᵀ(AA⊗A)1 = %d not divisible by 6; input not a simple symmetric graph?", total)
+	return total, nil
+}
+
+// SumLinearAlgebraBands exposes the raw band-restricted sum 1ᵀ((A·A) ⊗ A)1
+// over an explicit list of stored-entry [lo, hi) bands — no /6, no
+// divisibility check. It exists for the sampled validation mode: the sum is
+// linear over bands, and sparse.EdgeBands produces approximately equal-weight
+// bands, so evaluating a subset and scaling by the inverse sampling fraction
+// estimates the whole-graph quantity at a fraction of the cost. A must be
+// symmetric (the halving above assumes each off-diagonal entry has its
+// mirror somewhere in the full entry space, whether or not that mirror's
+// band is evaluated).
+func SumLinearAlgebraBands(ctx context.Context, a *sparse.CSR[int64], bands [][2]int) (int64, error) {
+	if a.NumRows != a.NumCols {
+		return 0, fmt.Errorf("triangle: adjacency must be square, got %dx%d", a.NumRows, a.NumCols)
 	}
-	return total / 6, nil
+	return sumLinearAlgebraBands(ctx, a, bands)
 }
 
 // CountNodeIteratorCSR is the combinatorial cross-check on CSR input: for

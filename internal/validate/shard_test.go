@@ -1,0 +1,309 @@
+package validate
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bigdeg"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/star"
+)
+
+// The tentpole parity contract: validating a design shard by shard and
+// merging must measure exactly what the unsharded streaming engine measures —
+// vertices, edges, degree distribution, triangles, agreement verdict — on
+// randomized designs across shard and worker counts, including under -race
+// (CI's race step covers this package). K=1 pins the degenerate single-shard
+// plan; K=7 doesn't divide most B-triple counts, exercising uneven slices.
+func TestShardUnionMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	loops := []star.LoopMode{star.LoopNone, star.LoopHub, star.LoopLeaf}
+	for trial := 0; trial < 8; trial++ {
+		nFactors := 2 + rng.Intn(2)
+		pts := make([]int, nFactors)
+		for i := range pts {
+			pts[i] = 2 + rng.Intn(5)
+		}
+		loop := loops[rng.Intn(len(loops))]
+		nb := 1 + rng.Intn(nFactors-1)
+		d, err := core.FromPoints(pts, loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(context.Background(), d, nb, 2)
+		if err != nil {
+			t.Fatalf("%v: unsharded: %v", d, err)
+		}
+		g, err := gen.New(d, nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, K := range []int{1, 2, 3, 7} {
+			plan, err := gen.PlanDesignShards(d, nb, K)
+			if err != nil {
+				t.Fatalf("%v K=%d: plan: %v", d, K, err)
+			}
+			// Plans carry zero checksums until enumerated; fill them so the
+			// validation-side folds can be reconciled below.
+			if err := g.ChecksumPlan(context.Background(), plan, 2); err != nil {
+				t.Fatalf("%v K=%d: checksum plan: %v", d, K, err)
+			}
+			np := 1 + rng.Intn(4)
+			reports := make([]*ShardReport, len(plan))
+			for i, s := range plan {
+				reports[i], err = RunShard(context.Background(), d, nb, np, s)
+				if err != nil {
+					t.Fatalf("%v K=%d shard %d: %v", d, K, i, err)
+				}
+				if reports[i].MeasuredEdges != s.Edges {
+					t.Errorf("%v K=%d shard %d: measured %d edges, plan promised %d",
+						d, K, i, reports[i].MeasuredEdges, s.Edges)
+				}
+				if reports[i].Checksum != s.Checksum {
+					t.Errorf("%v K=%d shard %d: checksum %#x, plan %#x",
+						d, K, i, reports[i].Checksum, s.Checksum)
+				}
+			}
+			got, err := Merge(context.Background(), reports, np)
+			if err != nil {
+				t.Fatalf("%v K=%d: merge: %v", d, K, err)
+			}
+			if got.MeasuredVertices != want.MeasuredVertices {
+				t.Errorf("%v K=%d: vertices %d, unsharded %d", d, K, got.MeasuredVertices, want.MeasuredVertices)
+			}
+			if got.MeasuredEdges != want.MeasuredEdges {
+				t.Errorf("%v K=%d: edges %d, unsharded %d", d, K, got.MeasuredEdges, want.MeasuredEdges)
+			}
+			if got.MeasuredTriangles != want.MeasuredTriangles {
+				t.Errorf("%v K=%d: triangles %d, unsharded %d", d, K, got.MeasuredTriangles, want.MeasuredTriangles)
+			}
+			if !bigdeg.Equal(got.MeasuredDegrees, want.MeasuredDegrees) {
+				t.Errorf("%v K=%d: degree distributions differ", d, K)
+			}
+			if got.ExactAgreement != want.ExactAgreement {
+				t.Errorf("%v K=%d: agreement %v, unsharded %v", d, K, got.ExactAgreement, want.ExactAgreement)
+			}
+		}
+	}
+}
+
+// Merge must fail loudly on incomplete or inconsistent coverage rather than
+// report on a subset of the design.
+func TestMergeRejectsBrokenPlans(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4, 5}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gen.PlanDesignShards(d, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make([]*ShardReport, len(plan))
+	for i, s := range plan {
+		reports[i], err = RunShard(context.Background(), d, 1, 2, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Merge(context.Background(), nil, 1); err == nil {
+		t.Error("empty report list accepted")
+	}
+	if _, err := Merge(context.Background(), reports[:2], 1); err == nil {
+		t.Error("incomplete plan (2 of 3 shards) accepted")
+	}
+	if _, err := Merge(context.Background(), []*ShardReport{reports[0], reports[1], reports[1]}, 1); err == nil {
+		t.Error("duplicated shard accepted")
+	}
+	if _, err := Merge(context.Background(), []*ShardReport{reports[0], reports[1], nil}, 1); err == nil {
+		t.Error("nil report accepted")
+	}
+	// A report whose measured count contradicts its plan slice must not merge.
+	bad := *reports[2]
+	bad.MeasuredEdges++
+	if _, err := Merge(context.Background(), []*ShardReport{reports[0], reports[1], &bad}, 1); err == nil {
+		t.Error("edge-count contradiction accepted")
+	}
+	// Same design, different split: the fragments describe different plans.
+	other, err := gen.PlanDesignShards(d, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := RunShard(context.Background(), d, 2, 1, other[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(context.Background(), []*ShardReport{reports[0], reports[1], mixed}, 1); err == nil {
+		t.Error("mixed-split merge accepted")
+	}
+}
+
+// The sampled mode with Stride 1 evaluates every band, so its triangle
+// "estimate" must equal the exact count and its exact side must match Run's;
+// with the default stride the exact side is still exact and the KS statistic
+// exactly 0 on a faithful generation.
+func TestSampledAgreesWithExact(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4, 5, 9}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(context.Background(), d, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := RunSampled(context.Background(), d, 2, 2, SampleOptions{Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.SampledBands != exact.TotalBands {
+		t.Fatalf("Stride 1 sampled %d of %d bands", exact.SampledBands, exact.TotalBands)
+	}
+	if got := int64(exact.EstimatedTriangles); got != want.MeasuredTriangles {
+		t.Errorf("Stride-1 estimate %d, exact count %d", got, want.MeasuredTriangles)
+	}
+	for _, opt := range []SampleOptions{{}, {Bands: 32, Stride: 4}} {
+		s, err := RunSampled(context.Background(), d, 2, 2, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if s.MeasuredVertices != want.MeasuredVertices || s.MeasuredEdges != want.MeasuredEdges {
+			t.Errorf("%+v: exact side diverged: %d vertices %d edges, want %d and %d",
+				opt, s.MeasuredVertices, s.MeasuredEdges, want.MeasuredVertices, want.MeasuredEdges)
+		}
+		if !bigdeg.Equal(s.MeasuredDegrees, want.MeasuredDegrees) {
+			t.Errorf("%+v: degree distributions differ from exact run", opt)
+		}
+		if s.KSStatistic != 0 {
+			t.Errorf("%+v: KS = %g on a faithful generation, want exactly 0", opt, s.KSStatistic)
+		}
+		if !s.ExactAgreement {
+			t.Errorf("%+v: exact side disagreed: %v", opt, s.Mismatches)
+		}
+		if s.SampledBands >= s.TotalBands && opt.Stride != 1 {
+			t.Errorf("%+v: sampled %d of %d bands — no work saved", opt, s.SampledBands, s.TotalBands)
+		}
+	}
+	if _, err := RunSampled(context.Background(), d, 2, 2, SampleOptions{Bands: -1, Stride: 2}); err == nil {
+		t.Error("negative Bands accepted")
+	}
+}
+
+// The KS statistic must be 0 iff the distributions match, 1 against an empty
+// distribution, and the exact maximal CDF gap otherwise.
+func TestKSStatistic(t *testing.T) {
+	dist := func(pairs ...int64) *bigdeg.Dist {
+		d := bigdeg.New()
+		for i := 0; i < len(pairs); i += 2 {
+			d.AddCount(big.NewInt(pairs[i]), big.NewInt(pairs[i+1]))
+		}
+		return d
+	}
+	if ks := ksStatistic(dist(), dist()); ks != 0 {
+		t.Errorf("empty vs empty: %g, want 0", ks)
+	}
+	if ks := ksStatistic(dist(1, 5), dist()); ks != 1 {
+		t.Errorf("nonempty vs empty: %g, want 1", ks)
+	}
+	if ks := ksStatistic(dist(1, 3, 7, 9), dist(1, 3, 7, 9)); ks != 0 {
+		t.Errorf("identical: %g, want 0", ks)
+	}
+	// P puts all 4 counts at degree 1; M puts them at degree 2. After degree
+	// 1 the CDFs are 1 and 0 — the gap is exactly 1 even though totals match.
+	if ks := ksStatistic(dist(1, 4), dist(2, 4)); ks != 1 {
+		t.Errorf("disjoint supports: %g, want 1", ks)
+	}
+	// P: 2@1, 2@3. M: 1@1, 3@3. After degree 1: 2/4 vs 1/4 → gap 1/4.
+	if ks := ksStatistic(dist(1, 2, 3, 2), dist(1, 1, 3, 3)); ks != 0.25 {
+		t.Errorf("shifted mass: %g, want 0.25", ks)
+	}
+}
+
+// Satellite 1 boundary: checkRealizable must admit vertex counts up to
+// maxRealizableVertices on 64-bit hosts and reject anything past the cap or
+// past int64 loudly. (The separate 32-bit int-range rejection between 2^31−1
+// and 2^31 is unreachable on 64-bit CI; this test pins the admission boundary
+// it protects.)
+func TestCheckRealizableBoundary(t *testing.T) {
+	props := func(vertices, edges *big.Int) *core.Properties {
+		return &core.Properties{Vertices: vertices, Edges: edges}
+	}
+	ok := []*core.Properties{
+		props(big.NewInt(1<<31), big.NewInt(MaxRealizableEdges)),
+		props(big.NewInt(1), big.NewInt(1)),
+	}
+	for _, p := range ok {
+		if err := checkRealizable(p); err != nil {
+			t.Errorf("%s vertices, %s edges rejected: %v", p.Vertices, p.Edges, err)
+		}
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), 80)
+	bad := []*core.Properties{
+		props(new(big.Int).Add(big.NewInt(1<<31), big.NewInt(1)), big.NewInt(1)),
+		props(big.NewInt(1), big.NewInt(MaxRealizableEdges+1)),
+		props(huge, big.NewInt(1)),
+		props(big.NewInt(1), huge),
+	}
+	for _, p := range bad {
+		if err := checkRealizable(p); err == nil {
+			t.Errorf("%s vertices, %s edges accepted", p.Vertices, p.Edges)
+		}
+	}
+}
+
+// seamCtx is a context whose Err flips to Canceled on the second call. The
+// materialized engine consults the original context's Err exactly twice: once
+// at parallel.RunContext entry inside the stream (RunContext then derives its
+// own cancel context, so per-batch checks never reach this object), and once
+// at the post-stream seam added to fix the satellite-2 bug. Without that seam
+// check the second call never happens and the run completes — so this test
+// fails against the unfixed engine.
+type seamCtx struct {
+	context.Context
+	calls int
+}
+
+func (c *seamCtx) Err() error {
+	c.calls++
+	if c.calls >= 2 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *seamCtx) Done() <-chan struct{}       { return nil }
+func (c *seamCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *seamCtx) Value(key any) any           { return nil }
+
+// Satellite 2 regression: RunMaterialized must observe a cancellation that
+// lands between the stream draining and the serial measurement phase.
+func TestRunMaterializedCancelledAtSeam(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4, 5, 9}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &seamCtx{Context: context.Background()}
+	if _, err := RunMaterialized(ctx, d, 2, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled from the post-stream seam check", err)
+	}
+}
+
+// RunShard must stop within a batch of a pre-cancelled context, like Run.
+func TestRunShardCancelled(t *testing.T) {
+	d, err := core.FromPoints([]int{3, 4, 5, 9}, star.LoopHub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gen.PlanDesignShards(d, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunShard(ctx, d, 2, 2, plan[0]); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

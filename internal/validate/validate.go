@@ -30,6 +30,7 @@ package validate
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/big"
 	"strings"
 
@@ -182,6 +183,14 @@ func RunMaterialized(ctx context.Context, d *core.Design, nb, np int) (*Report, 
 	if err != nil {
 		return nil, err
 	}
+	// The stream checks ctx per batch, but everything after it — the global
+	// concatenation, Dedupe's sort, and both serial triangle counters — used
+	// to run uninterruptible, so a SIGINT during the sort phase hung until
+	// the whole materialized pipeline finished. One check at the seam keeps
+	// the engine's cancellation latency bounded by the stream's last batch.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var tr []sparse.Triple[int64]
 	for _, b := range buffers {
 		tr = append(tr, b...)
@@ -243,6 +252,26 @@ func (s scatterSink) WriteBatch(w int, batch []gen.Edge) error {
 
 func (s scatterSink) Close() error { return nil }
 
+// checkRealizable rejects designs the measurement engine cannot hold: edge
+// counts past the CSR cap, and vertex counts past either the engine's own
+// bound or the platform's int range. The int check matters on 32-bit
+// platforms, where maxRealizableVertices (2^31) exceeds math.MaxInt (2^31−1):
+// without it the vertex count would be cast through int and silently wrap,
+// building a wrong-shaped CSR instead of failing loudly.
+func checkRealizable(pred *core.Properties) error {
+	if !pred.Vertices.IsInt64() || !pred.Edges.IsInt64() ||
+		pred.Edges.Int64() > MaxRealizableEdges ||
+		pred.Vertices.Int64() > maxRealizableVertices {
+		return fmt.Errorf("validate: design too large to realize (%s vertices, %s edges)",
+			pred.Vertices, pred.Edges)
+	}
+	if v := pred.Vertices.Int64(); v > math.MaxInt {
+		return fmt.Errorf("validate: design has %d vertices, over this platform's %d-bit int range; validate on a 64-bit host",
+			v, 32<<(^uint(0)>>63))
+	}
+	return nil
+}
+
 // prepare computes the predictions, checks realizability, builds the split
 // generator, and seeds a report with the predicted side.
 func prepare(d *core.Design, nb, np int) (*core.Properties, *gen.Generator, *Report, error) {
@@ -250,11 +279,8 @@ func prepare(d *core.Design, nb, np int) (*core.Properties, *gen.Generator, *Rep
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if !pred.Vertices.IsInt64() || !pred.Edges.IsInt64() ||
-		pred.Edges.Int64() > MaxRealizableEdges ||
-		pred.Vertices.Int64() > maxRealizableVertices {
-		return nil, nil, nil, fmt.Errorf("validate: design too large to realize (%s vertices, %s edges)",
-			pred.Vertices, pred.Edges)
+	if err := checkRealizable(pred); err != nil {
+		return nil, nil, nil, err
 	}
 	g, err := gen.New(d, nb)
 	if err != nil {

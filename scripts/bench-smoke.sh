@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench-smoke.sh — fig4 validation-throughput regression gate.
+#
+# Reruns the fig4 benchmark into a scratch directory and compares the fresh
+# snapshot against the committed BENCH_fig4.json:
+#
+#   1. streamingEdgesPerSec must stay within FLOOR_FRACTION of the committed
+#      rate — the single-core streaming validation engine must not regress
+#      back toward the materialized path it replaced.
+#   2. shardValidationSpeedup must exceed 2: summed K-shard validation
+#      throughput proves the shard-native path scales past one process.
+#   3. shardValidationExact must be true — the merged fragments reproduced
+#      the unsharded design-level verdict.
+#   4. sampledValidationKS must be 0: the sampled mode's exactly-measured
+#      side agrees with the prediction.
+#
+# CI runners are noisy, so the throughput gate is a floor with headroom, not
+# an equality check. Run from the repository root: ./scripts/bench-smoke.sh
+set -euo pipefail
+
+FLOOR_FRACTION=${FLOOR_FRACTION:-0.75}
+COMMITTED=BENCH_fig4.json
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "bench-smoke: FAIL: $*" >&2; exit 1; }
+
+[ -f "$COMMITTED" ] || fail "no committed $COMMITTED to compare against"
+
+echo "== kronbench -fig 4 (fresh snapshot into $WORK)"
+go run ./cmd/kronbench -fig 4 -json -json-dir "$WORK"
+FRESH="$WORK/BENCH_fig4.json"
+[ -f "$FRESH" ] || fail "benchmark did not write $FRESH"
+
+committed_rate=$(jq -e '.streamingEdgesPerSec' "$COMMITTED")
+fresh_rate=$(jq -e '.streamingEdgesPerSec' "$FRESH")
+floor=$(jq -n --argjson r "$committed_rate" --argjson f "$FLOOR_FRACTION" '$r * $f')
+echo "streaming: fresh ${fresh_rate} edges/s, committed ${committed_rate} (floor ${floor})"
+jq -en --argjson fresh "$fresh_rate" --argjson floor "$floor" '$fresh >= $floor' >/dev/null \
+  || fail "streamingEdgesPerSec ${fresh_rate} fell below ${FLOOR_FRACTION}x the committed ${committed_rate}"
+
+speedup=$(jq -e '.shardValidationSpeedup' "$FRESH")
+echo "shard validation: summed speedup ${speedup}x over single-shard"
+jq -en --argjson s "$speedup" '$s > 2' >/dev/null \
+  || fail "shardValidationSpeedup ${speedup} <= 2: sharded validation no longer scales"
+
+jq -e '.shardValidationExact == true' "$FRESH" >/dev/null \
+  || fail "merged shard validation did not reproduce the exact design-level verdict"
+
+jq -e '.sampledValidationKS == 0' "$FRESH" >/dev/null \
+  || fail "sampled validation KS statistic is nonzero: measured degree distribution drifted"
+
+echo "bench-smoke: OK"

@@ -10,6 +10,11 @@
 //     exported function or method that accepts a Sink or an emit callback —
 //     i.e. a streaming entry point that will drive a potentially long
 //     per-batch loop — must take a context.Context as its first parameter.
+//     The same rule applies to exported functions producing or consuming
+//     shard-validation fragments (a ShardReport param or result, under any
+//     pointer/slice wrapping): RunShard regenerates a whole plan slice and
+//     Merge walks K CSR fragments, so both are long-running streaming work
+//     even though neither takes a Sink.
 package ctxstream
 
 import (
@@ -78,15 +83,18 @@ func run(pass *analysis.Pass) (any, error) {
 				return
 			}
 			sig := fn.Type().(*types.Signature)
-			if !hasStreamingParam(sig) || hasContextFirst(sig) {
+			if hasContextFirst(sig) {
 				return
 			}
 			// Combinators (Tee, KeepOpen, Instrument) accept sinks but return
 			// one instead of driving a loop; only actual drivers need ctx.
-			if returnsSink(sig) {
+			if hasStreamingParam(sig) && !returnsSink(sig) {
+				pass.Reportf(fd.Name.Pos(), "exported streaming entry point %s drives a per-batch loop but does not take a context.Context as its first parameter", fd.Name.Name)
 				return
 			}
-			pass.Reportf(fd.Name.Pos(), "exported streaming entry point %s drives a per-batch loop but does not take a context.Context as its first parameter", fd.Name.Name)
+			if mentionsShardReport(sig) {
+				pass.Reportf(fd.Name.Pos(), "exported shard-validation entry point %s produces or consumes ShardReport fragments but does not take a context.Context as its first parameter", fd.Name.Name)
+			}
 		})
 	}
 	return nil, nil
@@ -137,6 +145,36 @@ func isEmitFunc(t types.Type) bool {
 		return false
 	}
 	return types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}
+
+// mentionsShardReport reports whether sig takes or returns a shard-validation
+// fragment — a named type ShardReport under any pointer/slice wrapping.
+// Aliases (kron.ShardValidation = validate.ShardReport) resolve to the same
+// named type, so the gate covers both spellings of the API.
+func mentionsShardReport(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isShardReport(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isShardReport(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isShardReport(t types.Type) bool {
+	switch u := types.Unalias(t).(type) {
+	case *types.Pointer:
+		return isShardReport(u.Elem())
+	case *types.Slice:
+		return isShardReport(u.Elem())
+	case *types.Named:
+		return u.Obj().Name() == "ShardReport"
+	}
+	return false
 }
 
 func returnsSink(sig *types.Signature) bool {

@@ -59,3 +59,29 @@ func drive(np int, sink Sink) error {
 func ReadBinary(ctx context.Context, np int, emit func(batch []Edge) error) error {
 	return nil
 }
+
+// ShardReport mirrors validate.ShardReport: a per-shard validation fragment.
+// Exported functions producing or consuming one are long-running streaming
+// work and must thread a context.
+type ShardReport struct{ Edges int64 }
+
+// RunShard threads ctx and returns a fragment: clean.
+func RunShard(ctx context.Context, k int) (*ShardReport, error) {
+	return &ShardReport{}, nil
+}
+
+// MergeReports consumes fragments without a ctx parameter: the
+// shard-validation check fires even though no Sink or emit param appears.
+func MergeReports(reports []*ShardReport) error { // want `exported shard-validation entry point MergeReports`
+	return nil
+}
+
+// BuildShard returns a fragment without a ctx parameter: results count too.
+func BuildShard(k int) ShardReport { // want `exported shard-validation entry point BuildShard`
+	return ShardReport{}
+}
+
+// mergeReports is unexported: the check applies to the public API only.
+func mergeReports(reports []*ShardReport) error {
+	return nil
+}

@@ -17,6 +17,14 @@ func Drive(s Sink) error {
 	return nil
 }
 
+type ShardReport struct{ Edges int64 }
+
+// MergeReports consumes fragments without ctx: also allowed outside the
+// streaming packages.
+func MergeReports(reports []*ShardReport) error {
+	return nil
+}
+
 func Helper() context.Context {
 	return context.Background() // want `context\.Background\(\) in library code`
 }
