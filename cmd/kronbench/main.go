@@ -402,6 +402,21 @@ func fig3(maxWorkers int) error {
 	recordBench("shardSpeedup", summed/fullRate)
 	recordBench("shardPlanCostEdgesPerSec", planRep.AggregateRate)
 
+	// Inner-loop hoist micro-delta: the live count engine (per-B-triple
+	// row/col bases, C pre-widened to int64 edges) against the retired loop
+	// kept verbatim in CountEdgesBaseline (per-edge `ib*mC + ic` multiplies
+	// and int→int64 widening).
+	start = time.Now()
+	baseTotal, _, err := g.CountEdgesBaseline(context.Background(), 1)
+	if err != nil {
+		return err
+	}
+	baselineRate := float64(baseTotal) / time.Since(start).Seconds()
+	fmt.Printf("\ninner-loop hoist: %.3e edges/s hoisted vs %.3e baseline (%.2fx)\n",
+		fullRate, baselineRate, fullRate/baselineRate)
+	recordBench("countBaselineEdgesPerSec", baselineRate)
+	recordBench("rowBaseHoistSpeedup", fullRate/baselineRate)
+
 	// Wire formats: encoder throughput over a real band-ordered prefix of
 	// this workload's stream — the component cost of putting edges on the
 	// wire, measured against the count-only full-process rate (the
@@ -437,19 +452,45 @@ func fig3(maxWorkers int) error {
 	if err != nil {
 		return err
 	}
+	// The block-replay delta path has no per-edge encode loop to isolate —
+	// its whole point is that generation and encoding fuse into template
+	// renders plus cached-byte replays — so it is measured end to end: a
+	// full single-worker generation pass streamed through the block-capable
+	// writer, directly comparable against fullRate (the count-only engine at
+	// one worker).
+	replayRate, err := benchReplayWire(g)
+	if err != nil {
+		return err
+	}
 	wireToCount := fullRate / binFixedRate
+	deltaRatio := replayRate / fullRate
 	fmt.Printf("\nwire-format encoder throughput (%d-edge band-ordered sample):\n", len(sample))
 	fmt.Printf("%-14s %-14s\n", "format", "edges/s")
 	fmt.Printf("%-14s %-14.3e (strconv baseline)\n", "tsv/strconv", tsvStrconvRate)
 	fmt.Printf("%-14s %-14.3e (%.2fx strconv)\n", "tsv", tsvRate, tsvRate/tsvStrconvRate)
-	fmt.Printf("%-14s %-14.3e\n", "bin/delta", binDeltaRate)
+	fmt.Printf("%-14s %-14.3e (per-edge encode)\n", "bin/delta", binDeltaRate)
 	fmt.Printf("%-14s %-14.3e (count-only rate / wire rate = %.2f)\n", "bin/fixed", binFixedRate, wireToCount)
+	fmt.Printf("%-14s %-14.3e (end-to-end generate+encode, %.2fx count rate)\n", "bin/replay", replayRate, deltaRatio)
 	recordBench("tsvStrconvWireEdgesPerSec", tsvStrconvRate)
 	recordBench("tsvWireEdgesPerSec", tsvRate)
 	recordBench("tsvLUTSpeedup", tsvRate/tsvStrconvRate)
 	recordBench("binDeltaWireEdgesPerSec", binDeltaRate)
 	recordBench("binWireEdgesPerSec", binFixedRate)
 	recordBench("wireToCountRatio", wireToCount)
+	recordBench("deltaReplayWireEdgesPerSec", replayRate)
+	recordBench("deltaWireToCountRatio", deltaRatio)
+	// Each wire series is recorded with the parallelism and batch size it
+	// ran at (the fig4 post-mortem: unlabeled recordings mislead) — the
+	// sample encoders see the whole sample per WriteEdges call, the replay
+	// series crosses the sink in C-block units.
+	gmp := runtime.GOMAXPROCS(0)
+	recordBench("wireSeries", []wireSeries{
+		{Series: "tsvStrconv", EdgesPerSec: tsvStrconvRate, Gomaxprocs: gmp, BatchEdges: len(sample)},
+		{Series: "tsv", EdgesPerSec: tsvRate, Gomaxprocs: gmp, BatchEdges: len(sample)},
+		{Series: "binDelta", EdgesPerSec: binDeltaRate, Gomaxprocs: gmp, BatchEdges: len(sample)},
+		{Series: "binFixed", EdgesPerSec: binFixedRate, Gomaxprocs: gmp, BatchEdges: len(sample)},
+		{Series: "binDeltaReplay", EdgesPerSec: replayRate, Gomaxprocs: gmp, BatchEdges: g.CNNZ()},
+	})
 
 	// Full-machine simulation of the paper's actual trillion-edge workload
 	// (B = {3,4,5,9,16,25}: 13,824,000 triples; C = {81,256}: 82,944),
@@ -513,6 +554,49 @@ func benchWire(sample []gen.Edge, newWriter func() (graphio.EdgeWriter, error)) 
 	}
 	if err := w.Flush(); err != nil {
 		return 0, err
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}
+
+// wireSeries is one wire-format throughput recording with the conditions it
+// ran under: the GOMAXPROCS in effect and the batch size crossing the
+// encoder per call.
+type wireSeries struct {
+	Series      string  `json:"series"`
+	EdgesPerSec float64 `json:"edgesPerSec"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
+	BatchEdges  int     `json:"batchEdges"`
+}
+
+// benchReplayWire measures the block-replay delta path end to end: one
+// single-worker generation pass streamed through a block-capable Writer sink
+// into io.Discard per iteration, repeated until enough wall clock has
+// elapsed, after one unmeasured warm-up pass. Each pass builds a fresh
+// writer (the KRNB trailer ends a stream), which costs one header and
+// trailer per full graph — noise at this scale.
+func benchReplayWire(g *gen.Generator) (float64, error) {
+	const minDur = 300 * time.Millisecond
+	pass := func() (int64, error) {
+		ew, err := graphio.NewBinaryEdgeWriter(io.Discard, g.NumEdges(), graphio.BinaryDelta)
+		if err != nil {
+			return 0, err
+		}
+		if err := g.StreamTo(context.Background(), 1, 0, pipeline.Writer(ew)); err != nil {
+			return 0, err
+		}
+		return ew.Count(), nil
+	}
+	if _, err := pass(); err != nil {
+		return 0, err
+	}
+	var n int64
+	start := time.Now()
+	for time.Since(start) < minDur {
+		c, err := pass()
+		if err != nil {
+			return 0, err
+		}
+		n += c
 	}
 	return float64(n) / time.Since(start).Seconds(), nil
 }

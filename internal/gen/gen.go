@@ -27,6 +27,13 @@ type Generator struct {
 	design *core.Design
 	b      *sparse.COO[int64] // raw product of the B factors, CSC-ordered triples
 	c      *sparse.COO[int64] // raw product of the C factors
+	// cEdges is C's row-major triples pre-widened to block-local int64
+	// edges. The B×C inner loop runs over this slice: the per-edge work is
+	// then three adds and a multiply against values already in edge layout —
+	// no int→int64 widening, no struct conversion — and the block-replay
+	// path renders its templates from it directly. (The retired per-triple
+	// inner loop survives as CountEdgesBaseline for the recorded delta.)
+	cEdges []Edge
 	// loopRow is the global index of the self-loop to drop, or -1.
 	loopRow int64
 	mA      int64 // total vertices
@@ -78,9 +85,13 @@ func New(d *core.Design, nb int) (*Generator, error) {
 		design:  d,
 		b:       b,
 		c:       c,
+		cEdges:  make([]Edge, c.NNZ()),
 		loopRow: -1,
 		mA:      int64(b.NumRows) * int64(c.NumRows),
 		nnzA:    int64(b.NNZ()) * int64(c.NNZ()),
+	}
+	for i, tc := range c.Tr {
+		g.cEdges[i] = Edge{Row: int64(tc.Row), Col: int64(tc.Col), Val: tc.Val}
 	}
 	switch d.Loop() {
 	case star.LoopHub:
@@ -166,8 +177,21 @@ func (g *Generator) StreamBatches(ctx context.Context, np, batchSize int, emit f
 // sink error, or cancellation — the sink is closed exactly once, so
 // consumers blocked on a sink's output always observe end-of-stream; the
 // close error is returned only when generation itself succeeded.
+//
+// A sink composition that is block-capable (pipeline.BlockSink — every
+// constituent opted in) and a C side large enough to amortize the template
+// render switch the pass to the block-replay engine: per worker, the
+// C-block's delta template is rendered once per distinct B value and each
+// B-triple crosses the sink as one WriteBlockRun instead of cnnz/batchSize
+// batches. Edge order, the band-order guarantee, and the Close contract are
+// identical either way.
 func (g *Generator) StreamTo(ctx context.Context, np, batchSize int, sink pipeline.Sink) error {
-	err := g.streamBRange(ctx, 0, g.b.NNZ(), np, batchSize, sink.WriteBatch)
+	var err error
+	if bs, ok := sink.(pipeline.BlockSink); ok && g.c.NNZ() >= minReplayBlockEdges {
+		err = g.streamBlockRange(ctx, 0, g.b.NNZ(), np, batchSize, bs)
+	} else {
+		err = g.streamBRange(ctx, 0, g.b.NNZ(), np, batchSize, sink.WriteBatch)
+	}
 	if cerr := sink.Close(); err == nil {
 		err = cerr
 	}
@@ -206,21 +230,22 @@ func (g *Generator) streamBRange(ctx context.Context, bLo, bHi, np, batchSize in
 			buf = buf[:0]
 			return nil
 		}
-		cTr := g.c.Tr
+		cEdges := g.cEdges
 		for _, tb := range g.b.Tr[bLo+parts[p].Lo : bLo+parts[p].Hi] {
 			rBase := int64(tb.Row) * mC
 			cBase := int64(tb.Col) * nC
+			vB := tb.Val
 			if loop >= rBase && loop < rBase+mC && loop >= cBase && loop < cBase+nC {
 				// This triple's block contains the removed self-loop: keep
 				// the per-edge skip test (loop >= 0 is implied — both block
 				// ranges are non-negative).
-				for _, tc := range cTr {
-					row := rBase + int64(tc.Row)
-					col := cBase + int64(tc.Col)
+				for _, ce := range cEdges {
+					row := rBase + ce.Row
+					col := cBase + ce.Col
 					if row == loop && col == loop {
 						continue
 					}
-					buf = append(buf, Edge{Row: row, Col: col, Val: tb.Val * tc.Val})
+					buf = append(buf, Edge{Row: row, Col: col, Val: vB * ce.Val})
 					if len(buf) == batchSize {
 						if err := flush(); err != nil {
 							return err
@@ -229,8 +254,8 @@ func (g *Generator) streamBRange(ctx context.Context, bLo, bHi, np, batchSize in
 				}
 				continue
 			}
-			for _, tc := range cTr {
-				buf = append(buf, Edge{Row: rBase + int64(tc.Row), Col: cBase + int64(tc.Col), Val: tb.Val * tc.Val})
+			for _, ce := range cEdges {
+				buf = append(buf, Edge{Row: rBase + ce.Row, Col: cBase + ce.Col, Val: vB * ce.Val})
 				if len(buf) == batchSize {
 					if err := flush(); err != nil {
 						return err
@@ -281,6 +306,55 @@ func (g *Generator) CountEdges(ctx context.Context, np int) (total int64, checks
 	return g.countBRange(ctx, 0, g.b.NNZ(), np)
 }
 
+// CountEdgesBaseline is the retired inner loop kept verbatim as the
+// measurement baseline for the hoisted engine (the strconvTSVWriter
+// pattern): C's triples are read as stored — per-edge int→int64 widening of
+// both coordinates and the row/column block offsets recomputed by multiply
+// per edge (`ib*mC + ic`), the work countBRange now hoists into the
+// per-B-triple bases and the pre-widened cEdges slice. kronbench fig3
+// records live-vs-baseline as rowBaseHoistSpeedup; it is not for production
+// use.
+func (g *Generator) CountEdgesBaseline(ctx context.Context, np int) (total, checksum int64, err error) {
+	parts, err := parallel.Partition(g.b.NNZ(), np)
+	if err != nil {
+		return 0, 0, err
+	}
+	counts := make([]int64, np)
+	sums := make([]int64, np)
+	mC := int64(g.c.NumRows)
+	nC := int64(g.c.NumCols)
+	err = parallel.RunContext(ctx, np, func(ctx context.Context, p int) error {
+		var n, s int64
+		cTr := g.c.Tr
+		loop := g.loopRow
+		for _, tb := range g.b.Tr[parts[p].Lo:parts[p].Hi] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for _, tc := range cTr {
+				row := int64(tb.Row)*mC + int64(tc.Row)
+				col := int64(tb.Col)*nC + int64(tc.Col)
+				if row == loop && col == loop {
+					continue
+				}
+				n++
+				s ^= row*31 + col
+			}
+		}
+		counts[p] = n
+		sums[p] = s
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for p := 0; p < np; p++ {
+		total += counts[p]
+		checksum ^= sums[p]
+	}
+	return total, checksum, nil
+}
+
 // countBRange enumerates the edges of B triples [bLo, bHi) × C with np
 // workers, counting and checksum-folding instead of storing — the count
 // analogue of streamBRange. The context is checked once per B triple
@@ -299,7 +373,7 @@ func (g *Generator) countBRange(ctx context.Context, bLo, bHi, np int) (total, c
 	nC := int64(g.c.NumCols)
 	err = parallel.RunContext(ctx, np, func(ctx context.Context, p int) error {
 		var n, s int64
-		cTr := g.c.Tr
+		cEdges := g.cEdges
 		loop := g.loopRow
 		for _, tb := range g.b.Tr[bLo+parts[p].Lo : bLo+parts[p].Hi] {
 			if err := ctx.Err(); err != nil {
@@ -307,9 +381,9 @@ func (g *Generator) countBRange(ctx context.Context, bLo, bHi, np int) (total, c
 			}
 			rBase := int64(tb.Row) * mC
 			cBase := int64(tb.Col) * nC
-			for _, tc := range cTr {
-				row := rBase + int64(tc.Row)
-				col := cBase + int64(tc.Col)
+			for _, ce := range cEdges {
+				row := rBase + ce.Row
+				col := cBase + ce.Col
 				if row == loop && col == loop {
 					continue
 				}

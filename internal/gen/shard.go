@@ -134,11 +134,17 @@ func (g *Generator) StreamShard(ctx context.Context, s ShardInfo, np, batchSize 
 // sink — StreamTo's shard face, and the engine behind StreamShard (which is
 // this method over a pipeline.Func adapter). The sink is closed exactly once
 // when the pass ends, on success and failure alike; the close error is
-// returned only when generation itself succeeded.
+// returned only when generation itself succeeded. Block-capable sinks take
+// the block-replay engine under the same conditions as StreamTo; shard
+// concatenation stays edge-identical because both engines follow CSC order.
 func (g *Generator) StreamShardTo(ctx context.Context, s ShardInfo, np, batchSize int, sink pipeline.Sink) error {
 	err := g.checkShard(s)
 	if err == nil {
-		err = g.streamBRange(ctx, s.BLo, s.BHi, np, batchSize, sink.WriteBatch)
+		if bs, ok := sink.(pipeline.BlockSink); ok && g.c.NNZ() >= minReplayBlockEdges {
+			err = g.streamBlockRange(ctx, s.BLo, s.BHi, np, batchSize, bs)
+		} else {
+			err = g.streamBRange(ctx, s.BLo, s.BHi, np, batchSize, sink.WriteBatch)
+		}
 	}
 	if cerr := sink.Close(); err == nil {
 		err = cerr

@@ -180,6 +180,14 @@ type BinaryEdgeWriter struct {
 	count    int64
 	checksum int64
 	finished bool
+
+	// noReplay switches WriteBlockRun to the per-edge oracle encoder (see
+	// SetBlockReplay); seeded marks a trailer fixed by SeedTrailer, which
+	// also turns off the per-edge checksum fold.
+	noReplay     bool
+	seeded       bool
+	seedCount    int64
+	seedChecksum int64
 }
 
 // NewBinaryEdgeWriter writes the KRNB header for a stream of exactly nnz
@@ -253,7 +261,9 @@ func (b *BinaryEdgeWriter) WriteEdge(row, col, val int64) error {
 	}
 	b.appendEdge(row, col, val)
 	b.count++
-	b.checksum ^= row*31 + col
+	if !b.seeded {
+		b.checksum ^= row*31 + col
+	}
 	if len(b.scratch) >= edgeChunk {
 		return b.emitFrame()
 	}
@@ -272,7 +282,9 @@ func (b *BinaryEdgeWriter) WriteEdges(batch []Edge) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	b.checksum = foldChecksum(b.checksum, batch)
+	if !b.seeded {
+		b.checksum = foldChecksum(b.checksum, batch)
+	}
 	b.count += int64(len(batch))
 	if b.enc == BinaryFixed && hostIsLittleEndian && len(batch)*edgeWireBytes >= directWriteBytes {
 		// One frame, written from the batch's own memory. The pending frame
@@ -329,11 +341,15 @@ func (b *BinaryEdgeWriter) Finish() error {
 		return err
 	}
 	b.finished = true
+	count, checksum := b.count, b.checksum
+	if b.seeded {
+		count, checksum = b.seedCount, b.seedChecksum
+	}
 	var buf [2 * binary.MaxVarintLen64]byte
 	out := buf[:0]
 	out = binary.AppendUvarint(out, 0) // trailer tag
-	out = binary.AppendUvarint(out, uint64(b.count))
-	out = binary.LittleEndian.AppendUint64(out, uint64(b.checksum))
+	out = binary.AppendUvarint(out, uint64(count))
+	out = binary.LittleEndian.AppendUint64(out, uint64(checksum))
 	if _, err := b.bw.Write(out); err != nil {
 		return err
 	}
@@ -344,8 +360,14 @@ func (b *BinaryEdgeWriter) Finish() error {
 // trailer carries.
 func (b *BinaryEdgeWriter) Count() int64 { return b.count }
 
-// Checksum returns the XOR content fold of the edges written so far.
-func (b *BinaryEdgeWriter) Checksum() int64 { return b.checksum }
+// Checksum returns the XOR content fold of the edges written so far — or,
+// after SeedTrailer, the seeded value the trailer will carry.
+func (b *BinaryEdgeWriter) Checksum() int64 {
+	if b.seeded {
+		return b.seedChecksum
+	}
+	return b.checksum
+}
 
 // BinaryInfo reports what a complete binary stream declared about itself.
 type BinaryInfo struct {

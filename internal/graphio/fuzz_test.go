@@ -161,11 +161,34 @@ func binarySeed(nnz int64, enc BinaryEncoding, edges []Edge) []byte {
 	return buf.Bytes()
 }
 
+// blockReplaySeed encodes a stream through the block-replay kernel — one
+// template replayed at several block offsets — so the fuzz corpus carries
+// the replay path's exact framing (one self-contained frame per block run).
+func blockReplaySeed() []byte {
+	var buf bytes.Buffer
+	w, err := NewBinaryEdgeWriter(&buf, 6, BinaryDelta)
+	if err != nil {
+		panic(err)
+	}
+	var tmpl DeltaBlockTemplate
+	tmpl.Render([]Edge{{Row: 0, Col: 1, Val: 1}, {Row: 0, Col: 4, Val: 2}, {Row: 1, Col: 0, Val: 1}})
+	for _, base := range [][2]int64{{0, 0}, {3, 9}} {
+		if err := w.WriteBlockRun(&tmpl, base[0], base[1]); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzReadBinary checks the binary edge reader never panics on arbitrary
 // bytes and that anything it accepts survives a re-encode/re-read round trip
 // under both encodings with identical edges, count, and checksum.
 func FuzzReadBinary(f *testing.F) {
 	f.Add(binarySeed(2, BinaryDelta, []Edge{{Row: 0, Col: 1, Val: 1}, {Row: 0, Col: 3, Val: 1}}))
+	f.Add(blockReplaySeed())
 	f.Add(binarySeed(2, BinaryFixed, []Edge{{Row: 0, Col: 1, Val: 1}, {Row: 5, Col: 2, Val: -7}}))
 	f.Add(binarySeed(0, BinaryDelta, nil))
 	f.Add(binarySeed(-1, BinaryFixed, []Edge{{Row: 1 << 40, Col: -(1 << 30), Val: 9}}))

@@ -48,17 +48,38 @@ const edgeChunk = 1 << 14
 // WriteEdges: entries are appended to scratch with the format's field
 // separator and index base (MatrixMarket is 1-based) and pushed to bw in
 // edgeChunk pieces. Fields are formatted by the two-digit-LUT appendInt fast
-// path (byte-parity with strconv pinned by the formatter tests). Returns the
-// (possibly regrown) scratch truncated for reuse.
+// path (byte-parity with strconv pinned by the formatter tests). The "row␣"
+// prefix is rendered once per run of equal rows and memcpy'd for the rest —
+// generated streams arrive row-major within each block (the band-order
+// guarantee), so most edges reuse the previous line's prefix — and the
+// "␣val⏎" suffix is cached the same way, since a Kronecker stream's values
+// come from a handful of star-weight products and run for whole blocks.
+// Returns the (possibly regrown) scratch truncated for reuse.
 func writeEdgeBatch(bw *bufio.Writer, scratch []byte, batch []Edge, sep byte, base int64) ([]byte, error) {
+	// prefix caches the rendered "row␣" bytes of the current row run, suffix
+	// the "␣val⏎" bytes of the current value run. An int64 is at most 20
+	// digits (21 with the sign) plus the separator/newline.
+	var prefix, suffix [22]byte
+	plen, slen := 0, 0
+	var prevRow, prevVal int64
 	b := scratch[:0]
 	for _, e := range batch {
-		b = appendInt(b, e.Row+base)
-		b = append(b, sep)
+		if plen == 0 || e.Row != prevRow {
+			p := appendInt(prefix[:0], e.Row+base)
+			p = append(p, sep)
+			plen = len(p)
+			prevRow = e.Row
+		}
+		if slen == 0 || e.Val != prevVal {
+			s := append(suffix[:0], sep)
+			s = appendInt(s, e.Val)
+			s = append(s, '\n')
+			slen = len(s)
+			prevVal = e.Val
+		}
+		b = append(b, prefix[:plen]...)
 		b = appendInt(b, e.Col+base)
-		b = append(b, sep)
-		b = appendInt(b, e.Val)
-		b = append(b, '\n')
+		b = append(b, suffix[:slen]...)
 		if len(b) >= edgeChunk {
 			if _, err := bw.Write(b); err != nil {
 				return b[:0], err

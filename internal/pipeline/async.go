@@ -3,14 +3,43 @@ package pipeline
 import (
 	"context"
 	"sync"
+
+	"repro/internal/graphio"
 )
 
 // Batch is one pooled edge buffer in flight from an Async sink's producers
 // to its consumer. The consumer owns Edges from receive until it hands the
 // Batch back via Recycle; after Recycle the buffer is reused and must not be
-// touched.
+// touched. A Batch sent through the block-run hand-off (Async.Runs) carries
+// a non-nil Run instead of Edges.
 type Batch struct {
 	Edges []Edge
+
+	// Run, when non-nil, is the replayed block this delivery carries in
+	// place of Edges: a cloned template the consumer may replay (or expand)
+	// at Run's block offset. Owned by the consumer until Recycle, like
+	// Edges.
+	Run *BatchRun
+
+	// runScratch keeps the clone's buffers alive across pool reuse so the
+	// run hand-off stays allocation-free at steady state.
+	runScratch *BatchRun
+}
+
+// BatchRun is the pooled copy of a block run inside a Batch: an owned
+// template clone plus the block offset it replays at.
+type BatchRun struct {
+	T       graphio.DeltaBlockTemplate
+	RowBase int64
+	ColBase int64
+}
+
+// Len returns the number of edges the run carries.
+func (r *BatchRun) Len() int { return r.T.Len() }
+
+// AppendEdges expands the run into global-coordinate edges.
+func (r *BatchRun) AppendEdges(dst []Edge) []Edge {
+	return r.T.AppendEdges(dst, r.RowBase, r.ColBase)
 }
 
 // Async is the bounded pooled hand-off between generation workers and a
@@ -50,6 +79,7 @@ func NewAsync(ctx context.Context, depth int) *Async {
 // cancels.
 func (a *Async) WriteBatch(p int, batch []Edge) error {
 	b := a.pool.Get().(*Batch)
+	b.Run = nil
 	b.Edges = append(b.Edges[:0], batch...)
 	select {
 	case a.ch <- b:
@@ -77,3 +107,41 @@ func (a *Async) Batches() <-chan *Batch { return a.ch }
 // Recycle returns a received Batch's buffer to the pool for reuse by a
 // future WriteBatch. The Batch and its Edges must not be used afterwards.
 func (a *Async) Recycle(b *Batch) { a.pool.Put(b) }
+
+// Runs returns a block-capable view of the hand-off: same channel, pool,
+// and backpressure, but block runs cross it as cloned templates (a few
+// bytes per edge) instead of expanded 24-byte edge records, and the
+// consumer can replay the clone straight into a block-capable writer. The
+// view is a separate value so the owner chooses per stream whether the
+// composition advertises the capability — a batch-only consumer keeps the
+// plain *Async and never sees runs.
+func (a *Async) Runs() BlockSink { return asyncRuns{a} }
+
+// asyncRuns adds the run hand-off to an Async without changing the batch
+// path.
+type asyncRuns struct {
+	*Async
+}
+
+// WriteBlockRun clones the run into a pooled Batch and sends it; the
+// template is owned by the producer after return, per the BlockSink
+// contract, so the clone (into buffers retained across pool reuse) is what
+// crosses the channel.
+func (r asyncRuns) WriteBlockRun(p int, run BlockRun) error {
+	a := r.Async
+	b := a.pool.Get().(*Batch)
+	b.Edges = b.Edges[:0]
+	if b.runScratch == nil {
+		b.runScratch = new(BatchRun)
+	}
+	run.T.CloneInto(&b.runScratch.T)
+	b.runScratch.RowBase, b.runScratch.ColBase = run.RowBase, run.ColBase
+	b.Run = b.runScratch
+	select {
+	case a.ch <- b:
+		return nil
+	case <-a.done:
+		a.pool.Put(b)
+		return a.ctx.Err()
+	}
+}

@@ -22,9 +22,15 @@ type instrumented struct {
 // bottleneck". Recording is routed by worker index into the stage's striped
 // padded cells, so parallel passes never write-share a counter cache line
 // through their instrumentation. Close passes through untouched:
-// instrumentation must not change the sink lifecycle it observes.
+// instrumentation must not change the sink lifecycle it observes. The
+// wrapper stays block-capable when sink is; a run records its edge count
+// into the same stage counters a batch would.
 func Instrument(stage *obs.Stage, sink Sink) Sink {
-	return &instrumented{stage: stage, sink: sink}
+	i := &instrumented{stage: stage, sink: sink}
+	if bs, ok := sink.(BlockSink); ok {
+		return &blockInstrumented{instrumented: i, bs: bs}
+	}
+	return i
 }
 
 func (i *instrumented) WriteBatch(p int, batch []Edge) error {
@@ -35,3 +41,16 @@ func (i *instrumented) WriteBatch(p int, batch []Edge) error {
 }
 
 func (i *instrumented) Close() error { return i.sink.Close() }
+
+// blockInstrumented forwards block runs with the same per-batch accounting.
+type blockInstrumented struct {
+	*instrumented
+	bs BlockSink
+}
+
+func (i *blockInstrumented) WriteBlockRun(p int, run BlockRun) error {
+	start := time.Now()
+	err := i.bs.WriteBlockRun(p, run)
+	i.stage.RecordWorker(p, run.T.Len(), time.Since(start))
+	return err
+}

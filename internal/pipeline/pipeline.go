@@ -66,10 +66,15 @@ type tee []Sink
 // order, within the producing worker's call — one generation pass feeds all
 // of them (stream TSV, count, and checksum simultaneously). The first child
 // error stops the batch and propagates. Close closes every child, even after
-// an error, and joins their errors.
+// an error, and joins their errors. The tee is block-capable (BlockSink) iff
+// every child is, so one batch-only consumer routes the whole fan-out
+// through the batch path rather than silently expanding runs.
 func Tee(sinks ...Sink) Sink {
 	if len(sinks) == 1 {
 		return sinks[0]
+	}
+	if bs := blockSinks(sinks); bs != nil {
+		return &blockTee{tee: tee(sinks), blocks: bs}
 	}
 	return tee(sinks)
 }
@@ -104,8 +109,14 @@ func (keepOpen) Close() error { return nil }
 // lifecycle outlives one streaming pass: the owner closes the underlying
 // sink itself once it has finished its own bookkeeping (the job service
 // closes its pooled stream only after the job's terminal state is recorded,
-// so the consumer's end-of-stream snapshot sees the final state).
-func KeepOpen(s Sink) Sink { return keepOpen{s} }
+// so the consumer's end-of-stream snapshot sees the final state). The
+// wrapper stays block-capable when s is.
+func KeepOpen(s Sink) Sink {
+	if bs, ok := s.(BlockSink); ok {
+		return blockKeepOpen{keepOpen: keepOpen{s}, bs: bs}
+	}
+	return keepOpen{s}
+}
 
 // perWorker routes worker p's batches to the p-th child.
 type perWorker []Sink
@@ -114,8 +125,14 @@ type perWorker []Sink
 // giving each generation worker an unshared consumer — per-worker chunk
 // files, for example — so no serialization is needed and per-worker output
 // order is deterministic. A worker index outside the sink list is an error.
-// Close closes every child and joins their errors.
-func PerWorker(sinks ...Sink) Sink { return perWorker(sinks) }
+// Close closes every child and joins their errors. The router is
+// block-capable iff every child is.
+func PerWorker(sinks ...Sink) Sink {
+	if bs := blockSinks(sinks); bs != nil {
+		return &blockPerWorker{perWorker: perWorker(sinks), blocks: bs}
+	}
+	return perWorker(sinks)
+}
 
 func (w perWorker) WriteBatch(p int, batch []Edge) error {
 	if p < 0 || p >= len(w) {
@@ -224,8 +241,18 @@ type writerSink struct {
 // end-of-stream marker (graphio.Finisher, e.g. the binary trailer) and
 // flushes; a sink Close marks a complete stream, so compositions ending in
 // Writer get the trailer for free. Wrap with KeepOpen to close a pipeline
-// without ending the underlying stream.
-func Writer(ew graphio.EdgeWriter) Sink { return &writerSink{ew: ew} }
+// without ending the underlying stream. When the writer replays blocks
+// natively (graphio.BlockRunWriter reporting ReplaysBlocks — the KRNB delta
+// encoder) the sink is block-capable, turning each run into one cached-byte
+// replay under the same mutex; writers without a genuine fast path (TSV,
+// fixed-width binary) stay batch-only so they keep their own hot paths.
+func Writer(ew graphio.EdgeWriter) Sink {
+	ws := &writerSink{ew: ew}
+	if brw, ok := ew.(graphio.BlockRunWriter); ok && brw.ReplaysBlocks() {
+		return &blockWriterSink{writerSink: ws, brw: brw}
+	}
+	return ws
+}
 
 func (w *writerSink) WriteBatch(p int, batch []Edge) error {
 	w.mu.Lock()

@@ -130,9 +130,15 @@ type Job struct {
 	state    JobState
 	err      error
 	attached bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	// blockRuns records that the attached consumer opted into the block-run
+	// transport (AttachRuns): the sink chain then advertises the block
+	// capability and replayed templates cross the hand-off instead of
+	// expanded batches. Set under mu before attachCh closes, so the
+	// generation pass (which starts on that close) always observes it.
+	blockRuns bool
+	created   time.Time
+	started   time.Time
+	finished  time.Time
 	// checksum is the XOR content fold over every edge the job generated
 	// (pipeline.Checksum, the same folding shard plans use); hasChecksum
 	// flips once generation completed successfully.
@@ -239,7 +245,16 @@ var ErrJobTerminal = errors.New("job already finished; its edges were never stor
 // reached a terminal state fails with ErrJobTerminal (wrapped): its closed
 // channel would produce a stream that declares totalEdges entries and
 // delivers none.
-func (j *Job) Attach() (<-chan *pipeline.Batch, error) {
+func (j *Job) Attach() (<-chan *pipeline.Batch, error) { return j.attach(false) }
+
+// AttachRuns claims the stream like Attach but opts the hand-off into the
+// block-run transport: deliveries may carry Batch.Run — a cloned block
+// template plus offset — instead of expanded edges, which a block-capable
+// encoder (the KRNB delta writer) replays as cached bytes. Everything else
+// — single consumer, Recycle, terminal semantics — is identical to Attach.
+func (j *Job) AttachRuns() (<-chan *pipeline.Batch, error) { return j.attach(true) }
+
+func (j *Job) attach(blockRuns bool) (<-chan *pipeline.Batch, error) {
 	if j.sink != SinkStream {
 		return nil, fmt.Errorf("job %s has sink %q; only %q jobs stream edges", j.id, j.sink, SinkStream)
 	}
@@ -255,6 +270,7 @@ func (j *Job) Attach() (<-chan *pipeline.Batch, error) {
 		return nil, fmt.Errorf("job %s already has a stream consumer; edges are not stored for replay", j.id)
 	}
 	j.attached = true
+	j.blockRuns = blockRuns
 	j.markLocked(PhaseConsumerAttached, "")
 	close(j.attachCh)
 	return j.stream.Batches(), nil
@@ -668,12 +684,20 @@ const (
 // property without running a whole job.
 func (m *Manager) jobSink(j *Job) (pipeline.Sink, *pipeline.Checksum) {
 	cks := pipeline.NewChecksum(j.workers)
-	progress := pipeline.Func(func(p int, batch []kron.Edge) error {
-		n := int64(len(batch))
+	record := func(n int64) error {
 		j.generated.Add(n)
 		m.metrics.EdgesGenerated.Add(n)
 		return nil
-	})
+	}
+	// The progress fold is block-capable (a run's edge count is closed
+	// form), as is the checksum fold, so discard jobs — and streaming jobs
+	// whose consumer opted in via AttachRuns — take the generator's
+	// block-replay engine; any batch-only member (the plain pooled stream)
+	// routes the whole tee back through batches.
+	progress := pipeline.BlockHandler(
+		func(p int, batch []kron.Edge) error { return record(int64(len(batch))) },
+		func(p int, run pipeline.BlockRun) error { return record(int64(run.Len())) },
+	)
 	// Every member rides behind pipeline.Instrument, so /metrics carries
 	// per-stage batches, edges, and busy-seconds for the whole serving
 	// chain; the wrappers add two clock reads and three atomic adds per
@@ -683,7 +707,14 @@ func (m *Manager) jobSink(j *Job) (pipeline.Sink, *pipeline.Checksum) {
 	if j.stream == nil {
 		return pipeline.Tee(instrProgress, instrCks), cks
 	}
-	stream := pipeline.Instrument(obs.Stages.Stage(stageStream), pipeline.KeepOpen(j.stream))
+	j.mu.Lock()
+	blockRuns := j.blockRuns
+	j.mu.Unlock()
+	var hand pipeline.Sink = j.stream
+	if blockRuns {
+		hand = j.stream.Runs()
+	}
+	stream := pipeline.Instrument(obs.Stages.Stage(stageStream), pipeline.KeepOpen(hand))
 	return pipeline.Tee(instrProgress, instrCks, stream), cks
 }
 

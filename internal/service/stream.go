@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/graphio"
+	"repro/internal/pipeline"
 	"repro/kron"
 )
 
@@ -128,7 +129,16 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ch, err := j.Attach()
+	// The KRNB delta stream opts into the block-run transport: generation
+	// crosses the hand-off as cloned block templates the encoder replays as
+	// cached bytes, instead of expanded 24-byte edge records.
+	encoding, _ := binaryEncoding(enc)
+	blockRuns := format == FormatBinary && encoding == graphio.BinaryDelta
+	attach := j.Attach
+	if blockRuns {
+		attach = j.AttachRuns
+	}
+	ch, err := attach()
 	if err != nil {
 		// A terminal job's stream is gone for good (410), not merely busy
 		// (409): edges are never stored, so there is nothing to come back
@@ -176,18 +186,31 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 	// transfer).
 	flushEvery := 8 * s.cfg.BatchSize
 	sinceFlush := 0
-	write := func(batch []kron.Edge) error {
-		if err := ew.WriteEdges(batch); err != nil {
-			return err
-		}
-		j.streamed.Add(int64(len(batch)))
-		s.metrics.EdgesStreamed.Add(int64(len(batch)))
-		sinceFlush += len(batch)
+	account := func(n int) error {
+		j.streamed.Add(int64(n))
+		s.metrics.EdgesStreamed.Add(int64(n))
+		sinceFlush += n
 		if sinceFlush >= flushEvery {
 			sinceFlush = 0
 			return flush()
 		}
 		return nil
+	}
+	write := func(batch []kron.Edge) error {
+		if err := ew.WriteEdges(batch); err != nil {
+			return err
+		}
+		return account(len(batch))
+	}
+	// brw is non-nil exactly when the stream attached with runs: the delta
+	// binary writer replays each delivered template as one cached-byte
+	// frame.
+	brw, _ := ew.(graphio.BlockRunWriter)
+	writeRun := func(r *pipeline.BatchRun) error {
+		if err := brw.WriteBlockRun(&r.T, r.RowBase, r.ColBase); err != nil {
+			return err
+		}
+		return account(r.Len())
 	}
 	clientGone := r.Context().Done()
 	// lastBatch times the gaps between consecutive batch receives for the
@@ -220,7 +243,12 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job, form
 				s.metrics.StreamBatchGap.Observe(now.Sub(lastBatch))
 			}
 			lastBatch = now
-			err := write(b.Edges)
+			var err error
+			if b.Run != nil {
+				err = writeRun(b.Run)
+			} else {
+				err = write(b.Edges)
+			}
 			// The pooled buffer goes back before any error handling: the
 			// encoder copied the bytes it needed, and recycling on every
 			// path is what keeps the producers allocation-free.

@@ -60,8 +60,29 @@ func PerWorker(sinks ...Sink) Sink { return pipeline.PerWorker(sinks...) }
 
 // Writer wraps an EdgeWriter as a Sink: batches are encoded whole and
 // worker-atomically; Close flushes. With one worker — or one Writer per
-// worker via PerWorker — the byte stream is deterministic.
+// worker via PerWorker — the byte stream is deterministic. When ew replays
+// blocks natively (a BlockRunWriter reporting ReplaysBlocks, i.e. the KRNB
+// delta encoder) the sink is block-capable and StreamTo switches to the
+// block-replay engine.
 func Writer(ew EdgeWriter) Sink { return pipeline.Writer(ew) }
+
+// BlockRun is one replay of a rendered block template at a block offset:
+// Len() edges, expandable via AppendEdges.
+type BlockRun = pipeline.BlockRun
+
+// BlockSink is a Sink that additionally consumes whole block runs — the
+// Kronecker-structure fast path. Compositions (Tee, PerWorker, Instrument)
+// are block-capable exactly when every member is; StreamTo and
+// StreamShardTo detect the capability and replay each B-triple's block as
+// one call instead of many batches. Counter and Checksum are block-capable
+// folds (closed-form count and checksum per run).
+type BlockSink = pipeline.BlockSink
+
+// BlockHandler adapts a batch callback plus a run callback to a BlockSink
+// with a no-op Close — the block-capable SinkFunc.
+func BlockHandler(batch SinkFunc, run func(p int, run BlockRun) error) BlockSink {
+	return pipeline.BlockHandler(batch, run)
+}
 
 // EdgeWriter is the streaming edge-encoder contract (TSV, MatrixMarket)
 // that Writer adapts into the pipeline.

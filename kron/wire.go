@@ -66,3 +66,24 @@ var (
 	// ErrBinaryCorrupt marks a stream whose bytes are inconsistent.
 	ErrBinaryCorrupt = graphio.ErrBinaryCorrupt
 )
+
+// --- Block-replay encode kernels ------------------------------------------
+//
+// K = B ⊗ C repeats C's edge pattern once per B nonzero, shifted by a
+// constant block offset — and the KRNB delta encoding of a block depends
+// only on the block-local coordinates, so its bytes can be rendered once
+// and replayed per block. DeltaBlockTemplate is the cached rendering;
+// StreamTo and StreamShardTo drive it automatically when the sink
+// composition is block-capable (see pipeline exports). This is what closes
+// the delta-encode gap to the bare count engine.
+
+// DeltaBlockTemplate is a block's rendered delta byte template: the first
+// edge held symbolically (patched per replay), the rest as cached
+// delta-varint bytes, plus closed-form checksum terms. Render it from a
+// block's local edges, replay it via BinaryEdgeWriter.WriteBlockRun.
+type DeltaBlockTemplate = graphio.DeltaBlockTemplate
+
+// BlockRunWriter is implemented by edge writers with a block-replay fast
+// path — BinaryEdgeWriter replays cached block bytes in the delta encoding
+// (ReplaysBlocks reports true exactly then).
+type BlockRunWriter = graphio.BlockRunWriter

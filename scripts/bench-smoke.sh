@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench-smoke.sh — fig4 validation-throughput regression gate.
+# bench-smoke.sh — fig3/fig4 benchmark regression gates.
 #
 # Reruns the fig4 benchmark into a scratch directory and compares the fresh
 # snapshot against the committed BENCH_fig4.json:
@@ -14,8 +14,14 @@
 #   4. sampledValidationKS must be 0: the sampled mode's exactly-measured
 #      side agrees with the prediction.
 #
-# CI runners are noisy, so the throughput gate is a floor with headroom, not
-# an equality check. Run from the repository root: ./scripts/bench-smoke.sh
+# Then reruns fig3 and gates the wire-format kernels:
+#
+#   5. deltaWireToCountRatio must be at least 0.5 — the block-replay delta
+#      encoder must keep streaming real bytes at no less than half the bare
+#      count engine's rate, the gap the replay kernels exist to close.
+#
+# CI runners are noisy, so the throughput gates are floors with headroom, not
+# equality checks. Run from the repository root: ./scripts/bench-smoke.sh
 set -euo pipefail
 
 FLOOR_FRACTION=${FLOOR_FRACTION:-0.75}
@@ -49,5 +55,16 @@ jq -e '.shardValidationExact == true' "$FRESH" >/dev/null \
 
 jq -e '.sampledValidationKS == 0' "$FRESH" >/dev/null \
   || fail "sampled validation KS statistic is nonzero: measured degree distribution drifted"
+
+echo "== kronbench -fig 3 (fresh snapshot into $WORK)"
+go run ./cmd/kronbench -fig 3 -json -json-dir "$WORK"
+FRESH3="$WORK/BENCH_fig3.json"
+[ -f "$FRESH3" ] || fail "benchmark did not write $FRESH3"
+
+ratio=$(jq -e '.deltaWireToCountRatio' "$FRESH3")
+replay=$(jq -e '.deltaReplayWireEdgesPerSec' "$FRESH3")
+echo "block-replay delta wire: ${replay} edges/s, ${ratio}x the count engine"
+jq -en --argjson r "$ratio" '$r >= 0.5' >/dev/null \
+  || fail "deltaWireToCountRatio ${ratio} < 0.5: the block-replay delta path no longer keeps up with the count engine"
 
 echo "bench-smoke: OK"

@@ -126,7 +126,7 @@ func hasStreamingParam(sig *types.Signature) bool {
 
 func isSinkInterface(t types.Type) bool {
 	n, ok := types.Unalias(t).(*types.Named)
-	if !ok || n.Obj().Name() != "Sink" {
+	if !ok || !strings.HasSuffix(n.Obj().Name(), "Sink") {
 		return false
 	}
 	_, ok = n.Underlying().(*types.Interface)

@@ -11,6 +11,15 @@
 // append(dst, batch...) and copy(dst, batch) are recognized as safe, and
 // passing the batch to another call (sink delegation, as Tee and Instrument
 // do) is allowed because the callee is bound by the same contract.
+//
+// WriteBlockRun implementations carry the same ownership contract for block
+// runs: the producer re-renders the run's template after the call returns,
+// so retaining run.T — or any of the template's slices — is the same bug as
+// retaining the batch. Both shapes are checked: the pipeline-level
+// func(int, BlockRun) error (declared or literal) and the writer-level
+// func(*DeltaBlockTemplate, int64, int64) error. Reads of value-typed fields
+// (run.RowBase, t.Len()) are copies and stay unflagged;
+// run.T.CloneInto(&dst) is the sanctioned deep copy.
 package sinkretain
 
 import (
@@ -27,39 +36,64 @@ import (
 // Analyzer is the sinkretain analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name:     "sinkretain",
-	Doc:      "report WriteBatch implementations that retain the batch slice beyond the call (the producer reuses it; retained edges must be copied)",
+	Doc:      "report WriteBatch and WriteBlockRun implementations that retain the batch slice or block template beyond the call (the producer reuses both; retained data must be copied)",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
+
+// contract names one owned-until-return parameter and the wording of its
+// violation reports.
+type contract struct {
+	owned       types.Object
+	escapes     string // "<noun> escapes <method>"
+	consequence string // what the producer does after the call returns
+	fix         string // the sanctioned copy
+}
+
+const (
+	batchConsequence = "the producer reuses the slice after the call returns"
+	batchFix         = "copy the edges (append(dst, batch...))"
+	runConsequence   = "the producer re-renders the template after the call returns"
+	runFix           = "clone the template (run.T.CloneInto(&dst))"
+	templateFix      = "clone it (t.CloneInto(&dst))"
+)
 
 func run(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
 		var body *ast.BlockStmt
 		var ftype *ast.FuncType
+		decl := ""
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
-			if fn.Name.Name != "WriteBatch" || fn.Body == nil {
+			if fn.Body == nil {
 				return
 			}
+			decl = fn.Name.Name
 			body, ftype = fn.Body, fn.Type
-			if !emitShape(pass, ftype, false) {
-				return
-			}
 		case *ast.FuncLit:
-			// Anonymous emit callbacks (gen.StreamBatches' argument) carry
-			// the same reuse contract; require the house []Edge element type
-			// so unrelated func(int, []byte) error shapes are not flagged.
+			// Anonymous emit callbacks (gen.StreamBatches' argument) and
+			// BlockHandler run callbacks carry the same reuse contracts;
+			// require the house Edge / BlockRun type names so unrelated
+			// func(int, []byte) error shapes are not flagged.
 			body, ftype = fn.Body, fn.Type
-			if !emitShape(pass, ftype, true) {
-				return
-			}
 		}
-		batch := batchParam(pass, ftype)
-		if batch == nil {
+		var c contract
+		switch {
+		case decl == "WriteBatch" && emitShape(pass, ftype, false),
+			decl == "" && emitShape(pass, ftype, true):
+			c = contract{paramObj(pass, ftype, 1), "batch escapes WriteBatch", batchConsequence, batchFix}
+		case (decl == "WriteBlockRun" || decl == "") && runShape(pass, ftype):
+			c = contract{paramObj(pass, ftype, 1), "block run escapes WriteBlockRun", runConsequence, runFix}
+		case decl == "WriteBlockRun" && templateShape(pass, ftype):
+			c = contract{paramObj(pass, ftype, 0), "template escapes WriteBlockRun", runConsequence, templateFix}
+		default:
 			return
 		}
-		checkFunc(pass, n, body, batch)
+		if c.owned == nil {
+			return
+		}
+		checkFunc(pass, n, body, c)
 	})
 	return nil, nil
 }
@@ -132,11 +166,15 @@ func emitSig(sig *types.Signature, needEdge bool) bool {
 	return types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
 }
 
-func edgeNamed(t types.Type) bool {
+func edgeNamed(t types.Type) bool { return namedAs(t, "Edge") }
+
+// namedAs reports whether t (unwrapping aliases) is a named type with the
+// given name.
+func namedAs(t types.Type, name string) bool {
 	for {
 		switch tt := t.(type) {
 		case *types.Named:
-			return tt.Obj().Name() == "Edge"
+			return tt.Obj().Name() == name
 		case *types.Alias:
 			t = types.Unalias(tt)
 		default:
@@ -145,8 +183,71 @@ func edgeNamed(t types.Type) bool {
 	}
 }
 
-// batchParam returns the object of the batch parameter (the second one).
-func batchParam(pass *analysis.Pass, ftype *ast.FuncType) types.Object {
+// paramTypes flattens ftype's parameter types (one entry per name).
+func paramTypes(pass *analysis.Pass, ftype *ast.FuncType) []types.Type {
+	var ptypes []types.Type
+	for _, f := range ftype.Params.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			return nil
+		}
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			ptypes = append(ptypes, t)
+		}
+	}
+	return ptypes
+}
+
+// errorResult reports whether ftype returns exactly one error.
+func errorResult(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	if ftype.Results == nil || len(ftype.Results.List) != 1 || len(ftype.Results.List[0].Names) > 1 {
+		return false
+	}
+	rt := pass.TypesInfo.TypeOf(ftype.Results.List[0].Type)
+	return rt != nil && types.Identical(rt, types.Universe.Lookup("error").Type())
+}
+
+// runShape reports whether ftype is the pipeline-level block-run contract:
+// (int, BlockRun) error, with BlockRun a named struct.
+func runShape(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	pt := paramTypes(pass, ftype)
+	if len(pt) != 2 || !errorResult(pass, ftype) {
+		return false
+	}
+	if b, ok := pt[0].Underlying().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	if _, ok := pt[1].Underlying().(*types.Struct); !ok {
+		return false
+	}
+	return namedAs(pt[1], "BlockRun")
+}
+
+// templateShape reports whether ftype is the writer-level block-run
+// contract: (*DeltaBlockTemplate, int64, int64) error.
+func templateShape(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	pt := paramTypes(pass, ftype)
+	if len(pt) != 3 || !errorResult(pass, ftype) {
+		return false
+	}
+	ptr, ok := pt[0].Underlying().(*types.Pointer)
+	if !ok || !namedAs(ptr.Elem(), "DeltaBlockTemplate") {
+		return false
+	}
+	for _, t := range pt[1:] {
+		if b, ok := t.Underlying().(*types.Basic); !ok || b.Kind() != types.Int64 {
+			return false
+		}
+	}
+	return true
+}
+
+// paramObj returns the object of the idx'th (flattened) parameter.
+func paramObj(pass *analysis.Pass, ftype *ast.FuncType, idx int) types.Object {
 	var names []*ast.Ident
 	for _, f := range ftype.Params.List {
 		if len(f.Names) == 0 {
@@ -155,16 +256,16 @@ func batchParam(pass *analysis.Pass, ftype *ast.FuncType) types.Object {
 		}
 		names = append(names, f.Names...)
 	}
-	if len(names) != 2 || names[1] == nil || names[1].Name == "_" {
+	if idx >= len(names) || names[idx] == nil || names[idx].Name == "_" {
 		return nil
 	}
-	return pass.TypesInfo.Defs[names[1]]
+	return pass.TypesInfo.Defs[names[idx]]
 }
 
-// checkFunc flags escaping uses of the batch parameter (and its local
+// checkFunc flags escaping uses of the owned parameter (and its local
 // aliases) within one target function.
-func checkFunc(pass *analysis.Pass, root ast.Node, body *ast.BlockStmt, batch types.Object) {
-	tracked := map[types.Object]bool{batch: true}
+func checkFunc(pass *analysis.Pass, root ast.Node, body *ast.BlockStmt, c contract) {
+	tracked := map[types.Object]bool{c.owned: true}
 	// Fixpoint over simple aliases: x := batch, x := batch[i:j], var x = batch.
 	for changed := true; changed; {
 		changed = false
@@ -217,9 +318,9 @@ func checkFunc(pass *analysis.Pass, root ast.Node, body *ast.BlockStmt, batch ty
 			return true
 		}
 		// Any use inside a go'ed closure races with the producer's reuse,
-		// even an otherwise-safe copy: the copy itself runs after WriteBatch
-		// returned. Check before the expression walk, which would otherwise
-		// stop at a safe-looking append(dst, batch...).
+		// even an otherwise-safe copy: the copy itself runs after the write
+		// call returned. Check before the expression walk, which would
+		// otherwise stop at a safe-looking append(dst, batch...).
 		for k := len(stack) - 2; k >= 2; k-- {
 			fl, ok := stack[k].(*ast.FuncLit)
 			if !ok {
@@ -227,13 +328,13 @@ func checkFunc(pass *analysis.Pass, root ast.Node, body *ast.BlockStmt, batch ty
 			}
 			if call, ok := stack[k-1].(*ast.CallExpr); ok && call.Fun == fl {
 				if _, ok := stack[k-2].(*ast.GoStmt); ok {
-					pass.Reportf(id.Pos(), "batch escapes WriteBatch: captured by a goroutine; the producer reuses the slice after the call returns — copy the edges (append(dst, batch...)) instead")
+					pass.Reportf(id.Pos(), "%s: captured by a goroutine; %s — %s instead", c.escapes, c.consequence, c.fix)
 					return true
 				}
 			}
 		}
 		if how, bad := verdict(pass, stack, root); bad {
-			pass.Reportf(id.Pos(), "batch escapes WriteBatch: %s; the producer reuses the slice after the call returns — copy the edges (append(dst, batch...)) instead", how)
+			pass.Reportf(id.Pos(), "%s: %s; %s — %s instead", c.escapes, how, c.consequence, c.fix)
 		}
 		return true
 	})
@@ -245,8 +346,27 @@ func aliasesTracked(pass *analysis.Pass, tracked map[types.Object]bool, e ast.Ex
 		return aliasesTracked(pass, tracked, e.X)
 	case *ast.SliceExpr:
 		return aliasesTracked(pass, tracked, e.X)
+	case *ast.SelectorExpr:
+		// run.T (and t.tail etc.) alias the tracked value only when the
+		// selected field is reference-typed; a value-typed field read is a
+		// copy.
+		return refType(pass.TypesInfo.TypeOf(e)) && aliasesTracked(pass, tracked, e.X)
 	case *ast.Ident:
 		return tracked[pass.TypesInfo.Uses[e]]
+	}
+	return false
+}
+
+// refType reports whether t shares underlying storage when copied — the
+// types whose field reads keep a tracked value tracked. Signatures are
+// included: a method value closes over its receiver.
+func refType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
 	}
 	return false
 }
@@ -278,6 +398,14 @@ func verdict(pass *analysis.Pass, stack []ast.Node, root ast.Node) (string, bool
 				return "", false // index position: a plain int read
 			}
 			cur = p // re-slice shares the backing array
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return "", false
+			}
+			if !refType(pass.TypesInfo.TypeOf(p)) {
+				return "", false // a value-typed field read is a copy
+			}
+			cur = p // run.T, t.tail: the field shares the owned storage
 		case *ast.IndexExpr:
 			if p.X != cur {
 				return "", false

@@ -1,0 +1,115 @@
+// Fixture block: WriteBlockRun implementations that retain the block
+// template — every one of these must be flagged by sinkretain.
+package block
+
+type Edge struct{ Row, Col, Val int64 }
+
+// DeltaBlockTemplate mirrors the house template shape: cached byte and
+// precomputed-term slices the producer re-renders between runs.
+type DeltaBlockTemplate struct {
+	tail []byte
+	pre  []int64
+}
+
+func (t *DeltaBlockTemplate) Len() int                          { return len(t.pre) }
+func (t *DeltaBlockTemplate) CloneInto(dst *DeltaBlockTemplate) {}
+
+// BlockRun mirrors the pipeline-level run: a template pointer plus the block
+// offsets it is replayed at.
+type BlockRun struct {
+	T                *DeltaBlockTemplate
+	RowBase, ColBase int64
+}
+
+var lastTemplate *DeltaBlockTemplate
+
+// FieldSink stores the template pointer in a struct field.
+type FieldSink struct {
+	t *DeltaBlockTemplate
+	n int
+}
+
+func (s *FieldSink) WriteBlockRun(p int, run BlockRun) error {
+	s.t = run.T // want `block run escapes WriteBlockRun: stored in s\.t`
+	s.n += run.T.Len()
+	return nil
+}
+
+// RunFieldSink stores the whole run (its template pointer rides along).
+type RunFieldSink struct {
+	last BlockRun
+}
+
+func (s *RunFieldSink) WriteBlockRun(p int, run BlockRun) error {
+	s.last = run // want `block run escapes WriteBlockRun: stored in s\.last`
+	return nil
+}
+
+// GlobalSink stores the template in a package-level variable.
+type GlobalSink struct{}
+
+func (GlobalSink) WriteBlockRun(p int, run BlockRun) error {
+	lastTemplate = run.T // want `block run escapes WriteBlockRun: stored in lastTemplate declared outside the function`
+	return nil
+}
+
+// CollectSink appends the template pointer into a retained slice.
+type CollectSink struct {
+	templates []*DeltaBlockTemplate
+}
+
+func (s *CollectSink) WriteBlockRun(p int, run BlockRun) error {
+	s.templates = append(s.templates, run.T) // want `block run escapes WriteBlockRun: stored in s\.templates`
+	return nil
+}
+
+// TailSink retains one of the template's slices — the same backing array the
+// producer rewrites on the next render.
+type TailSink struct {
+	bytes []byte
+}
+
+func (s *TailSink) WriteBlockRun(p int, run BlockRun) error {
+	s.bytes = run.T.tail // want `block run escapes WriteBlockRun: stored in s\.bytes`
+	return nil
+}
+
+// ChanSink sends the run to another goroutine.
+type ChanSink struct {
+	ch chan BlockRun
+}
+
+func (s *ChanSink) WriteBlockRun(p int, run BlockRun) error {
+	s.ch <- run // want `block run escapes WriteBlockRun: sent on a channel`
+	return nil
+}
+
+// GoSink reads the template from a spawned goroutine — the read races with
+// the producer's re-render.
+type GoSink struct {
+	n chan int
+}
+
+func (s *GoSink) WriteBlockRun(p int, run BlockRun) error {
+	go func() {
+		s.n <- run.T.Len() // want `block run escapes WriteBlockRun: captured by a goroutine`
+	}()
+	return nil
+}
+
+// TemplateSink implements the writer-level shape and retains the template's
+// byte slice.
+type TemplateSink struct {
+	tail []byte
+}
+
+func (s *TemplateSink) WriteBlockRun(t *DeltaBlockTemplate, rowBase, colBase int64) error {
+	s.tail = t.tail // want `template escapes WriteBlockRun: stored in s\.tail`
+	return nil
+}
+
+// handler is a BlockHandler-style run callback with the same contract.
+var handler = func(p int, run BlockRun) error {
+	lastTemplate = run.T // want `block run escapes WriteBlockRun: stored in lastTemplate declared outside the function`
+	return nil
+}

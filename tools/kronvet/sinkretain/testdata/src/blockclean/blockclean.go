@@ -1,0 +1,93 @@
+// Fixture blockclean: WriteBlockRun implementations that honor the block
+// ownership contract — none of these may be flagged by sinkretain.
+package blockclean
+
+type Edge struct{ Row, Col, Val int64 }
+
+type DeltaBlockTemplate struct {
+	tail []byte
+	pre  []int64
+}
+
+func (t *DeltaBlockTemplate) Len() int { return len(t.pre) }
+
+func (t *DeltaBlockTemplate) CloneInto(dst *DeltaBlockTemplate) {
+	dst.tail = append(dst.tail[:0], t.tail...)
+	dst.pre = append(dst.pre[:0], t.pre...)
+}
+
+type BlockRun struct {
+	T                *DeltaBlockTemplate
+	RowBase, ColBase int64
+}
+
+type runSink interface {
+	WriteBlockRun(p int, run BlockRun) error
+}
+
+// CloneSink keeps the template past the call the sanctioned way: a deep copy
+// into its own scratch.
+type CloneSink struct {
+	scratch DeltaBlockTemplate
+	rows    int64
+}
+
+func (s *CloneSink) WriteBlockRun(p int, run BlockRun) error {
+	run.T.CloneInto(&s.scratch)
+	s.rows += run.RowBase // a value-typed field read is a copy
+	return nil
+}
+
+// DelegateSink forwards the run to a wrapped sink, which is bound by the
+// same contract (Tee, Instrument, per-worker routing all do this).
+type DelegateSink struct {
+	inner runSink
+	n     int
+}
+
+func (s *DelegateSink) WriteBlockRun(p int, run BlockRun) error {
+	s.n += run.T.Len()
+	return s.inner.WriteBlockRun(p, run)
+}
+
+// ExpandSink copies the template's terms element-wise — append with a spread
+// copies, it does not alias.
+type ExpandSink struct {
+	terms []int64
+}
+
+func (s *ExpandSink) WriteBlockRun(p int, run BlockRun) error {
+	s.terms = append(s.terms, run.T.pre...)
+	return nil
+}
+
+type byteWriter interface {
+	Write(p []byte) (int, error)
+}
+
+// WriterSink implements the writer-level shape and streams the cached bytes
+// synchronously — the callee may not retain them either (io.Writer's own
+// contract).
+type WriterSink struct {
+	w      byteWriter
+	folded int64
+}
+
+func (s *WriterSink) WriteBlockRun(t *DeltaBlockTemplate, rowBase, colBase int64) error {
+	base := rowBase*31 + colBase
+	for _, p := range t.pre {
+		s.folded ^= base + p
+	}
+	if _, err := s.w.Write(t.tail); err != nil {
+		return err
+	}
+	return nil
+}
+
+// localAlias keeps every alias inside the call.
+var localAlias = func(p int, run BlockRun) error {
+	tpl := run.T
+	n := tpl.Len()
+	_ = n
+	return nil
+}
